@@ -1,0 +1,130 @@
+//! Ready-made baseline FTL configurations (paper §5.3).
+
+use crate::pvb::{FlashPvb, RamPvb};
+use crate::pvl::PvlStore;
+use flash_sim::{FlashDevice, Geometry};
+use geckoftl_core::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
+use geckoftl_core::gecko::{GeckoConfig, LogGecko};
+use geckoftl_core::validity::MetaSink;
+
+/// The five FTLs of the paper's evaluation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BaselineKind {
+    /// DFTL [22]: RAM PVB, battery-backed recovery, greedy GC.
+    Dftl,
+    /// LazyFTL [26]: RAM PVB, restricted dirty fraction, greedy GC.
+    LazyFtl,
+    /// µ-FTL [24]: flash-resident PVB, battery, greedy GC.
+    MuFtl,
+    /// IB-FTL [18]: page validity log + cleaning, restricted dirty fraction,
+    /// greedy GC.
+    IbFtl,
+    /// GeckoFTL: Logarithmic Gecko, checkpoints + deferred synchronization,
+    /// metadata-aware GC.
+    GeckoFtl,
+}
+
+impl BaselineKind {
+    /// All five FTLs in the paper's presentation order.
+    pub const ALL: [BaselineKind; 5] = [
+        BaselineKind::Dftl,
+        BaselineKind::LazyFtl,
+        BaselineKind::MuFtl,
+        BaselineKind::IbFtl,
+        BaselineKind::GeckoFtl,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            BaselineKind::Dftl => "DFTL",
+            BaselineKind::LazyFtl => "LazyFTL",
+            BaselineKind::MuFtl => "u-FTL",
+            BaselineKind::IbFtl => "IB-FTL",
+            BaselineKind::GeckoFtl => "GeckoFTL",
+        }
+    }
+
+    /// Whether the FTL depends on a battery for recovery (Figure 13).
+    pub fn needs_battery(self) -> bool {
+        matches!(self, BaselineKind::Dftl | BaselineKind::MuFtl)
+    }
+
+    /// The FTL's recovery policy in the shared engine.
+    pub fn recovery_policy(self) -> RecoveryPolicy {
+        match self {
+            BaselineKind::Dftl | BaselineKind::MuFtl => RecoveryPolicy::Battery,
+            BaselineKind::LazyFtl | BaselineKind::IbFtl => {
+                // "we set the proportion of the cache that stores dirty
+                // mapping entries for LazyFTL and IB-FTL to 10% of C".
+                RecoveryPolicy::RestrictedDirty { fraction: 0.1 }
+            }
+            BaselineKind::GeckoFtl => RecoveryPolicy::CheckpointDeferred,
+        }
+    }
+
+    /// The FTL's garbage-collection policy.
+    pub fn gc_policy(self) -> GcPolicy {
+        match self {
+            BaselineKind::GeckoFtl => GcPolicy::MetadataAware,
+            _ => GcPolicy::GreedyAll,
+        }
+    }
+}
+
+/// Build an FTL of the given kind with paper-scaled defaults for `geo`.
+pub fn build(kind: BaselineKind, geo: Geometry) -> FtlEngine {
+    build_with(kind, geo, FtlConfig {
+        cache_entries: FtlConfig::scaled_cache_entries(&geo),
+        gc_free_threshold: 8,
+        gc_policy: kind.gc_policy(),
+        recovery: kind.recovery_policy(),
+        checkpoint_period: None,
+    })
+}
+
+/// Build an FTL of the given kind with an explicit engine configuration
+/// (used by the Figure 14 experiment, which resizes caches and equalizes the
+/// GC scheme).
+pub fn build_with(kind: BaselineKind, geo: Geometry, cfg: FtlConfig) -> FtlEngine {
+    match kind {
+        BaselineKind::Dftl | BaselineKind::LazyFtl => FtlEngine::format(
+            geo,
+            cfg,
+            ValidityBackend::External(Box::new(RamPvb::new(geo))),
+        ),
+        BaselineKind::MuFtl => {
+            // The flash PVB must be materialized on the same device the
+            // engine will use, so build in two steps.
+            let mut engine = FtlEngine::format(
+                geo,
+                cfg,
+                ValidityBackend::External(Box::new(RamPvb::new(geo))), // placeholder
+            );
+            let pvb = engine.with_raw_parts(|dev, bm| FlashPvb::format(geo, dev, bm));
+            engine.replace_backend(ValidityBackend::External(Box::new(pvb)));
+            engine
+        }
+        BaselineKind::IbFtl => FtlEngine::format(
+            geo,
+            cfg,
+            ValidityBackend::External(Box::new(PvlStore::new(geo))),
+        ),
+        BaselineKind::GeckoFtl => {
+            let gecko = LogGecko::new(geo, GeckoConfig::paper_default(&geo));
+            FtlEngine::format(geo, cfg, ValidityBackend::Gecko(gecko))
+        }
+    }
+}
+
+/// Build GeckoFTL with an explicit Gecko tuning (Figures 9–12 sweeps).
+pub fn build_geckoftl_tuned(geo: Geometry, cfg: FtlConfig, gecko_cfg: GeckoConfig) -> FtlEngine {
+    let gecko = LogGecko::new(geo, gecko_cfg);
+    FtlEngine::format(geo, cfg, ValidityBackend::Gecko(gecko))
+}
+
+/// A "flash-PVB only" store builder for §5.1's apples-to-apples comparison
+/// of Logarithmic Gecko vs a flash-resident PVB outside the full engine.
+pub fn format_flash_pvb(geo: Geometry, dev: &mut FlashDevice, sink: &mut dyn MetaSink) -> FlashPvb {
+    FlashPvb::format(geo, dev, sink)
+}

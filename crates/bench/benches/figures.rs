@@ -1,0 +1,206 @@
+//! Criterion benches mirroring the paper's tables/figures — one target per
+//! experiment, each measuring the steady-state cost of the operation that
+//! experiment studies (reduced sizes so `cargo bench` stays fast). The full
+//! figure data comes from the `reproduce` binary.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use flash_sim::{Geometry, Lpn};
+use ftl_baselines::ftls::{build_geckoftl_tuned, build_with};
+use ftl_baselines::BaselineKind;
+use ftl_models::{capacity_sweep, ram_model, recovery_model, FtlName};
+use ftl_workloads::{Uniform, WorkloadOp};
+use geckoftl_core::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy};
+use geckoftl_core::gecko::GeckoConfig;
+use geckoftl_core::recovery::gecko_recover;
+
+fn bench_geo() -> Geometry {
+    Geometry::new(256, 128, 4096, 0.7) // 128 MB simulated device
+}
+
+fn cfg(geo: &Geometry, policy: GcPolicy, recovery: RecoveryPolicy) -> FtlConfig {
+    FtlConfig {
+        cache_entries: FtlConfig::scaled_cache_entries(geo),
+        gc_free_threshold: 8,
+        gc_policy: policy,
+        recovery,
+        checkpoint_period: None,
+    }
+}
+
+fn warmed(mut engine: FtlEngine, seed: u64) -> (FtlEngine, Uniform) {
+    let logical = engine.geometry().logical_pages();
+    for lpn in 0..logical as u32 {
+        engine.write(Lpn(lpn), 0);
+    }
+    let mut gen = Uniform::new(seed, logical);
+    for op in (&mut gen).take((logical / 2) as usize) {
+        if let WorkloadOp::Write(lpn) = op {
+            engine.write(lpn, 1);
+        }
+    }
+    (engine, gen)
+}
+
+fn bench_update(c: &mut Criterion, name: &str, engine: FtlEngine, seed: u64) {
+    let (mut engine, mut gen) = warmed(engine, seed);
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            if let Some(WorkloadOp::Write(lpn)) = gen.next() {
+                engine.write(black_box(lpn), 2);
+            }
+        });
+    });
+}
+
+/// Figure 9: steady-state update cost, Gecko (T=2) vs flash PVB.
+fn fig09(c: &mut Criterion) {
+    let geo = bench_geo();
+    bench_update(
+        c,
+        "fig09_update_gecko_t2",
+        build_geckoftl_tuned(
+            geo,
+            cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::CheckpointDeferred),
+            GeckoConfig::paper_default(&geo),
+        ),
+        1,
+    );
+    bench_update(
+        c,
+        "fig09_update_flash_pvb",
+        build_with(BaselineKind::MuFtl, geo, cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::Battery)),
+        1,
+    );
+}
+
+/// Figure 10: update cost with and without entry-partitioning at B=512.
+fn fig10(c: &mut Criterion) {
+    let geo = Geometry::new(256, 512, 4096, 0.7);
+    for (name, s) in [("fig10_update_s1_b512", 1u32), ("fig10_update_s16_b512", 16)] {
+        let gecko_cfg = GeckoConfig { partitions: s, ..GeckoConfig::paper_default(&geo) };
+        bench_update(
+            c,
+            name,
+            build_geckoftl_tuned(
+                geo,
+                cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::CheckpointDeferred),
+                gecko_cfg,
+            ),
+            2,
+        );
+    }
+}
+
+/// Figure 11: update cost at two device sizes (logarithmic growth).
+fn fig11(c: &mut Criterion) {
+    for (name, blocks) in [("fig11_update_k256", 256u32), ("fig11_update_k1024", 1024)] {
+        let geo = Geometry::new(blocks, 128, 4096, 0.7);
+        bench_update(
+            c,
+            name,
+            build_geckoftl_tuned(
+                geo,
+                cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::CheckpointDeferred),
+                GeckoConfig::paper_default(&geo),
+            ),
+            3,
+        );
+    }
+}
+
+/// Figure 12: update cost at low over-provisioning (frequent GC).
+fn fig12(c: &mut Criterion) {
+    let geo = Geometry::new(256, 128, 4096, 0.85);
+    bench_update(
+        c,
+        "fig12_update_r085",
+        build_geckoftl_tuned(
+            geo,
+            cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::CheckpointDeferred),
+            GeckoConfig::paper_default(&geo),
+        ),
+        4,
+    );
+}
+
+/// Figures 1 & 13 (models): evaluating the RAM/recovery models across all
+/// five FTLs at full 2 TB paper scale.
+fn fig13_models(c: &mut Criterion) {
+    let geo = Geometry::paper_2tb();
+    c.bench_function("fig13_ram_and_recovery_models", |b| {
+        b.iter(|| {
+            for name in FtlName::ALL {
+                black_box(ram_model(name, &geo, 1 << 19).total());
+                black_box(
+                    recovery_model(name, &geo, 1 << 19, 0.1)
+                        .total_seconds(&flash_sim::LatencyModel::paper()),
+                );
+            }
+        });
+    });
+    c.bench_function("fig01_capacity_sweep", |b| {
+        b.iter(|| black_box(capacity_sweep(FtlName::LazyFtl, 1 << 17, 1 << 23, 0.1)));
+    });
+}
+
+/// Figure 13 (bottom) / 14: one steady-state update on DFTL and GeckoFTL
+/// under the shared-GC configuration.
+fn fig14(c: &mut Criterion) {
+    let geo = bench_geo();
+    bench_update(
+        c,
+        "fig14_update_dftl_small_cache",
+        build_with(BaselineKind::Dftl, geo, cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::Battery)),
+        5,
+    );
+}
+
+/// GeckoRec end-to-end on a freshly crashed small device.
+fn recovery(c: &mut Criterion) {
+    let geo = Geometry::tiny();
+    c.bench_function("geckorec_full_recovery", |b| {
+        b.iter_batched(
+            || {
+                let gecko_cfg = GeckoConfig {
+                    page_header_bytes: geo.page_bytes - 64,
+                    ..GeckoConfig::paper_default(&geo)
+                };
+                let mut engine = build_geckoftl_tuned(
+                    geo,
+                    FtlConfig {
+                        cache_entries: 64,
+                        gc_free_threshold: 8,
+                        gc_policy: GcPolicy::MetadataAware,
+                        recovery: RecoveryPolicy::CheckpointDeferred,
+                        checkpoint_period: None,
+                    },
+                    gecko_cfg,
+                );
+                let logical = engine.geometry().logical_pages();
+                for op in Uniform::new(6, logical).take(2000) {
+                    if let WorkloadOp::Write(lpn) = op {
+                        engine.write(lpn, 1);
+                    }
+                }
+                let cfg = engine.config();
+                (engine.crash(), cfg, gecko_cfg)
+            },
+            |(dev, cfg, gecko_cfg)| black_box(gecko_recover(dev, cfg, gecko_cfg)),
+            criterion::BatchSize::LargeInput,
+        );
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = fig09, fig10, fig11, fig12, fig13_models, fig14, recovery
+}
+criterion_main!(benches);

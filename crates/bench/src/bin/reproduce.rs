@@ -1,0 +1,60 @@
+//! Reproduce the paper's tables and figures.
+//!
+//! ```text
+//! reproduce all                # every experiment
+//! reproduce fig9 fig13         # selected experiments
+//! reproduce list               # what exists
+//! reproduce all --csv out/     # also write CSV files
+//! ```
+
+use gecko_bench::experiments::{find, ALL};
+use gecko_bench::report::{format_table, write_csv};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut slugs: Vec<&str> = Vec::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(PathBuf::from(args.get(i).map(String::as_str).unwrap_or("results")));
+            }
+            "list" => {
+                println!("available experiments:");
+                for e in ALL {
+                    println!("  {:10} {}", e.slug, e.what);
+                }
+                return;
+            }
+            "all" => slugs = ALL.iter().map(|e| e.slug).collect(),
+            s => slugs.push(Box::leak(s.to_string().into_boxed_str())),
+        }
+        i += 1;
+    }
+    if slugs.is_empty() {
+        eprintln!("usage: reproduce <all|list|slug...> [--csv dir]");
+        eprintln!("run `reproduce list` to see the experiments");
+        std::process::exit(2);
+    }
+
+    for slug in slugs {
+        let Some(exp) = find(slug) else {
+            eprintln!("unknown experiment '{slug}' — try `reproduce list`");
+            std::process::exit(2);
+        };
+        let started = Instant::now();
+        eprintln!(">> running {slug}: {}", exp.what);
+        let tables = (exp.run)();
+        for t in &tables {
+            println!("{}", format_table(t));
+        }
+        if let Some(dir) = &csv_dir {
+            write_csv(dir, slug, &tables).expect("write CSV");
+        }
+        eprintln!("<< {slug} done in {:.1}s\n", started.elapsed().as_secs_f64());
+    }
+}

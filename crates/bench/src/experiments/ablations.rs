@@ -1,0 +1,145 @@
+//! Ablations of GeckoFTL's design choices (DESIGN.md §3):
+//!
+//! 1. Multi-way merging (Appendix A) on/off.
+//! 2. Metadata-aware GC (§4.2) vs the greedy policy.
+//! 3. Checkpoints (§4.3) on/off: runtime sync cost vs recovery-scan size.
+
+use crate::harness::{drive, fill_sequential, measure_uniform, sim_geometry};
+use crate::report::{f3, Table};
+use ftl_baselines::ftls::{build_geckoftl_tuned, build_with};
+use ftl_baselines::BaselineKind;
+use ftl_workloads::Uniform;
+use geckoftl_core::ftl::{FtlConfig, GcPolicy, RecoveryPolicy};
+use geckoftl_core::gecko::GeckoConfig;
+use geckoftl_core::recovery::{gecko_recover, RecoveryStep};
+
+fn base_cfg(geo: &flash_sim::Geometry) -> FtlConfig {
+    FtlConfig {
+        cache_entries: FtlConfig::scaled_cache_entries(geo),
+        gc_free_threshold: 8,
+        gc_policy: GcPolicy::MetadataAware,
+        recovery: RecoveryPolicy::CheckpointDeferred,
+        checkpoint_period: None,
+    }
+}
+
+/// Run all ablations.
+pub fn run() -> Vec<Table> {
+    let geo = sim_geometry();
+
+    // ---- 1. Multi-way merging. ------------------------------------------
+    let mut merges = Table::new(
+        "Ablation — multi-way merging (Appendix A)",
+        &["merging", "validity WA", "merge ops", "entries dropped"],
+    );
+    for multiway in [true, false] {
+        let gecko_cfg = GeckoConfig { multiway_merge: multiway, ..GeckoConfig::paper_default(&geo) };
+        let mut engine = build_geckoftl_tuned(geo, base_cfg(&geo), gecko_cfg);
+        let d = measure_uniform(&mut engine, 60_000, 51);
+        let stats = engine.backend().gecko().expect("gecko").stats;
+        merges.row(vec![
+            if multiway { "multi-way" } else { "two-way" }.into(),
+            f3(d.wa_breakdown(10.0).validity),
+            stats.merges.to_string(),
+            stats.entries_dropped.to_string(),
+        ]);
+    }
+
+    // ---- 2. GC victim policy. ---------------------------------------------
+    let mut gc = Table::new(
+        "Ablation — metadata-aware GC (§4.2) vs greedy",
+        &["policy", "user", "translation", "validity", "total WA", "migrations"],
+    );
+    for policy in [GcPolicy::MetadataAware, GcPolicy::GreedyAll] {
+        // GeckoFTL and DFTL: the policy matters most for FTLs whose greedy
+        // collector would migrate translation/PVB blocks (the baselines).
+        for kind in [BaselineKind::GeckoFtl, BaselineKind::Dftl] {
+            let cfg = FtlConfig {
+                gc_policy: policy,
+                recovery: kind.recovery_policy(),
+                ..base_cfg(&geo)
+            };
+            let mut engine = match kind {
+                BaselineKind::GeckoFtl => {
+                    build_geckoftl_tuned(geo, cfg, GeckoConfig::paper_default(&geo))
+                }
+                other => build_with(other, geo, cfg),
+            };
+            let before = engine.counters.gc_migrations;
+            let d = measure_uniform(&mut engine, 60_000, 52);
+            let b = d.wa_breakdown(10.0);
+            gc.row(vec![
+                format!("{} / {policy:?}", kind.name()),
+                f3(b.user),
+                f3(b.translation),
+                f3(b.validity),
+                f3(b.total()),
+                (engine.counters.gc_migrations - before).to_string(),
+            ]);
+        }
+    }
+
+    // ---- 3. Checkpoints. ---------------------------------------------------
+    let mut ckpt = Table::new(
+        "Ablation — checkpoints (§4.3): runtime syncs vs recovery-scan size",
+        &["checkpoints", "translation WA", "syncs", "recovery scan (spare reads)"],
+    );
+    for period in [None::<u64>, Some(u64::MAX)] {
+        let mut cfg = base_cfg(&geo);
+        cfg.checkpoint_period = period; // None → default C; MAX → disabled
+        let gecko_cfg = GeckoConfig::paper_default(&geo);
+        let mut engine = build_geckoftl_tuned(geo, cfg, gecko_cfg);
+        fill_sequential(&mut engine);
+        let logical = geo.logical_pages();
+        let mut gen = Uniform::new(53, logical);
+        drive(&mut engine, &mut gen, logical / 2);
+        let snap = engine.device().stats().snapshot();
+        drive(&mut engine, &mut gen, 40_000);
+        let d = engine.device().stats().since(&snap);
+        let syncs = engine.counters.syncs;
+        let cfg = engine.config();
+        let dev = engine.crash();
+        let (_, report) = gecko_recover(dev, cfg, gecko_cfg);
+        let scan = report
+            .steps
+            .iter()
+            .find(|(s, _)| *s == RecoveryStep::DirtyEntries)
+            .map(|(_, c)| c.spare_reads)
+            .unwrap_or(0);
+        ckpt.row(vec![
+            if period.is_none() { "on (period C)" } else { "off" }.into(),
+            f3(d.wa_breakdown(10.0).translation),
+            syncs.to_string(),
+            scan.to_string(),
+        ]);
+    }
+
+    vec![merges, gc, ckpt]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(debug_assertions, ignore = "simulation-heavy; run with --release")]
+    fn ablations_show_expected_tradeoffs() {
+        let tables = super::run();
+        // Metadata-aware GC must not be worse overall than greedy, and for
+        // DFTL (whose greedy collector migrates translation blocks) it must
+        // cut translation WA.
+        let gc = &tables[1];
+        let gecko_aware: f64 = gc.rows[0][4].parse().unwrap();
+        let gecko_greedy: f64 = gc.rows[2][4].parse().unwrap();
+        assert!(gecko_aware <= gecko_greedy * 1.1, "{gecko_aware} vs {gecko_greedy}");
+        let dftl_aware_t: f64 = gc.rows[1][2].parse().unwrap();
+        let dftl_greedy_t: f64 = gc.rows[3][2].parse().unwrap();
+        assert!(
+            dftl_aware_t < dftl_greedy_t,
+            "metadata-aware must cut DFTL translation WA: {dftl_aware_t} vs {dftl_greedy_t}"
+        );
+        // Checkpoints bound the recovery scan.
+        let ckpt = &tables[2];
+        let scan_on: u64 = ckpt.rows[0][3].parse().unwrap();
+        let scan_off: u64 = ckpt.rows[1][3].parse().unwrap();
+        assert!(scan_on < scan_off, "checkpointed scan {scan_on} must be below unbounded {scan_off}");
+    }
+}

@@ -1,0 +1,96 @@
+//! Shared simulation drivers for the experiments.
+
+use flash_sim::{Geometry, StatsSnapshot};
+use ftl_workloads::{Uniform, WorkloadOp};
+use geckoftl_core::ftl::FtlEngine;
+
+/// The default simulation geometry for write-amplification experiments:
+/// 1024 blocks of 128 × 4 KB pages (512 MB) at the paper's R = 0.7.
+///
+/// Keeps the paper's B, P and R; only K is scaled down so a full experiment
+/// sweep runs in seconds. Figures that vary a parameter (B, K, R) derive
+/// their geometries from this one.
+pub fn sim_geometry() -> Geometry {
+    Geometry::new(1 << 10, 1 << 7, 1 << 12, 0.7)
+}
+
+/// Write every logical page once (sequentially) so the device reaches its
+/// steady-state fill level before measurements start.
+pub fn fill_sequential(engine: &mut FtlEngine) {
+    let logical = engine.geometry().logical_pages();
+    for lpn in 0..logical {
+        engine.write(flash_sim::Lpn(lpn as u32), lpn);
+    }
+}
+
+/// Apply `n` operations from a workload generator.
+pub fn drive(engine: &mut FtlEngine, gen: impl Iterator<Item = WorkloadOp>, n: u64) {
+    let mut version = 1u64 << 32;
+    for op in gen.take(n as usize) {
+        match op {
+            WorkloadOp::Write(lpn) => {
+                version += 1;
+                engine.write(lpn, version);
+            }
+            WorkloadOp::Read(lpn) => {
+                let _ = engine.read(lpn);
+            }
+        }
+    }
+}
+
+/// One measured interval of a workload (Figure 9's per-10k-write rows).
+#[derive(Clone, Debug)]
+pub struct MeasuredInterval {
+    /// Interval index.
+    pub index: usize,
+    /// IO delta over the interval.
+    pub delta: StatsSnapshot,
+}
+
+/// Driver: precondition an engine, then measure `intervals` intervals of
+/// `interval_writes` uniformly random updates each.
+pub struct Driver {
+    /// RNG seed for the uniform workload.
+    pub seed: u64,
+    /// Number of measured intervals.
+    pub intervals: usize,
+    /// Updates per interval.
+    pub interval_writes: u64,
+}
+
+impl Default for Driver {
+    fn default() -> Self {
+        Driver { seed: 42, intervals: 10, interval_writes: 10_000 }
+    }
+}
+
+impl Driver {
+    /// Run the preconditioning fill plus a warm-up, then measure.
+    pub fn measure(&self, engine: &mut FtlEngine) -> Vec<MeasuredInterval> {
+        fill_sequential(engine);
+        let logical = engine.geometry().logical_pages();
+        // Warm-up: reach GC steady state before measuring.
+        let mut gen = Uniform::new(self.seed, logical);
+        drive(engine, &mut gen, logical / 2);
+        let mut out = Vec::with_capacity(self.intervals);
+        for index in 0..self.intervals {
+            let snap = engine.device().stats().snapshot();
+            drive(engine, &mut gen, self.interval_writes);
+            out.push(MeasuredInterval { index, delta: engine.device().stats().since(&snap) });
+        }
+        out
+    }
+}
+
+/// Measure one engine under the default driver and return the aggregate
+/// delta over all intervals.
+pub fn measure_uniform(engine: &mut FtlEngine, writes: u64, seed: u64) -> StatsSnapshot {
+    fill_sequential(engine);
+    let logical = engine.geometry().logical_pages();
+    let mut gen = Uniform::new(seed, logical);
+    drive(engine, &mut gen, logical / 2); // warm-up
+    let snap = engine.device().stats().snapshot();
+    drive(engine, &mut gen, writes);
+    engine.device().stats().since(&snap)
+}

@@ -1,0 +1,146 @@
+//! Plain-text and CSV reporting (no serde: results are simple tables).
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A simple named table: header row + data rows of strings.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    /// Table title (figure/table id plus description).
+    pub title: String,
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with a title and column names.
+    pub fn new(title: impl Into<String>, columns: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in '{}'", self.title);
+        self.rows.push(cells);
+    }
+
+    /// CSV form (title as a comment line).
+    pub fn to_csv(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "# {}", self.title);
+        let _ = writeln!(s, "{}", self.columns.join(","));
+        for row in &self.rows {
+            let _ = writeln!(s, "{}", row.join(","));
+        }
+        s
+    }
+}
+
+/// Render a table as aligned monospace text.
+pub fn format_table(t: &Table) -> String {
+    let mut widths: Vec<usize> = t.columns.iter().map(|c| c.len()).collect();
+    for row in &t.rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut s = String::new();
+    let _ = writeln!(s, "== {} ==", t.title);
+    let head: Vec<String> = t
+        .columns
+        .iter()
+        .enumerate()
+        .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+        .collect();
+    let _ = writeln!(s, "{}", head.join("  "));
+    let _ = writeln!(s, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    for row in &t.rows {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
+            .collect();
+        let _ = writeln!(s, "{}", cells.join("  "));
+    }
+    s
+}
+
+/// Write a set of tables as CSV files into a directory (one file per table,
+/// named from the slug).
+pub fn write_csv(dir: &Path, slug: &str, tables: &[Table]) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    for (i, t) in tables.iter().enumerate() {
+        let name = if tables.len() == 1 {
+            format!("{slug}.csv")
+        } else {
+            format!("{slug}_{i}.csv")
+        };
+        std::fs::write(dir.join(name), t.to_csv())?;
+    }
+    Ok(())
+}
+
+/// Format a float with 3 decimal places (the tables' standard precision).
+pub fn f3(x: f64) -> String {
+    format!("{x:.3}")
+}
+
+/// Format a byte count in human units.
+pub fn human_bytes(b: u64) -> String {
+    const KB: f64 = 1024.0;
+    let b = b as f64;
+    if b >= KB * KB * KB {
+        format!("{:.2} GB", b / KB / KB / KB)
+    } else if b >= KB * KB {
+        format!("{:.2} MB", b / KB / KB)
+    } else if b >= KB {
+        format!("{:.1} KB", b / KB)
+    } else {
+        format!("{b:.0} B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["a", "long_column"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.row(vec!["100".into(), "2000".into()]);
+        let s = format_table(&t);
+        assert!(s.contains("== demo =="));
+        assert!(s.contains("long_column"));
+        assert_eq!(s.lines().count(), 5);
+    }
+
+    #[test]
+    fn csv_round_trip_shape() {
+        let mut t = Table::new("x", &["c1", "c2"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let csv = t.to_csv();
+        assert_eq!(csv, "# x\nc1,c2\n1,2\n");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512 B");
+        assert_eq!(human_bytes(4096), "4.0 KB");
+        assert_eq!(human_bytes(64 << 20), "64.00 MB");
+        assert_eq!(human_bytes(2 << 30), "2.00 GB");
+    }
+}

@@ -1,0 +1,385 @@
+//! The RAM-resident LRU mapping cache (paper §4, §4.3).
+//!
+//! Each cached mapping entry carries three flags:
+//!
+//! * **dirty** — the flash-resident translation table does not yet reflect
+//!   this entry's physical address;
+//! * **UIP** (*Unidentified Invalid Page*, §4.1) — some before-image of this
+//!   logical page has not yet been reported to the page-validity store;
+//! * **uncertain** — the entry was recreated by recovery and its dirty/UIP
+//!   flags are assumed-true until a synchronization operation checks them
+//!   (Appendix C.3).
+//!
+//! The cache is "implemented as a tree to enable efficient range queries for
+//! mapping entries on a particular translation page" (paper footnote 6):
+//! a `BTreeMap` keyed by LPN indexes an intrusive doubly-linked LRU list.
+//!
+//! **Checkpoints.** §4.3 bounds recovery's backwards scan to `2·C` spare
+//! reads by synchronizing, every `C` cache operations, all dirty entries
+//! that have not been *written* since the previous checkpoint. We track a
+//! `written_epoch` per entry and let the engine sweep entries with
+//! `written_epoch < current_epoch` at each checkpoint — same O(C)-per-C-ops
+//! cost as the paper's checkpoint-symbol walk of the LRU queue, but also
+//! correct for dirty entries that were re-promoted by reads.
+
+use flash_sim::{Lpn, Ppn};
+use std::collections::BTreeMap;
+
+const NIL: usize = usize::MAX;
+
+/// One cached logical→physical mapping entry with its flags.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheEntry {
+    /// Logical page.
+    pub lpn: Lpn,
+    /// Most recent physical location of the page.
+    pub ppn: Ppn,
+    /// Entry differs from the flash-resident translation table.
+    pub dirty: bool,
+    /// A before-image of this page is not yet reported invalid (§4.1).
+    pub uip: bool,
+    /// Flags are post-recovery assumptions pending verification (App. C.3).
+    pub uncertain: bool,
+    /// Checkpoint epoch of the last *write* access (not read promotions).
+    pub written_epoch: u64,
+}
+
+impl CacheEntry {
+    /// Entry created when an application read misses the cache: clean.
+    pub fn clean(lpn: Lpn, ppn: Ppn) -> Self {
+        CacheEntry { lpn, ppn, dirty: false, uip: false, uncertain: false, written_epoch: 0 }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    entry: CacheEntry,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU cache of mapping entries.
+#[derive(Clone, Debug)]
+pub struct MappingCache {
+    capacity: usize,
+    map: BTreeMap<Lpn, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    dirty_count: usize,
+}
+
+impl MappingCache {
+    /// An empty cache holding up to `capacity` (`C`) entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache must hold at least one entry");
+        MappingCache {
+            capacity,
+            map: BTreeMap::new(),
+            nodes: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            dirty_count: 0,
+        }
+    }
+
+    /// `C`: maximum number of entries.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Whether an insert would exceed capacity.
+    pub fn is_full(&self) -> bool {
+        self.len() >= self.capacity
+    }
+
+    /// Number of dirty entries currently cached.
+    pub fn dirty_count(&self) -> usize {
+        self.dirty_count
+    }
+
+    /// Integrated-RAM footprint (paper: 8 bytes per cached entry).
+    pub fn ram_bytes(&self) -> u64 {
+        self.capacity as u64 * 8
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.nodes[idx].prev, self.nodes[idx].next);
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Look up an entry without touching LRU order.
+    pub fn lookup(&self, lpn: Lpn) -> Option<&CacheEntry> {
+        self.map.get(&lpn).map(|&i| &self.nodes[i].entry)
+    }
+
+    /// Move an entry to the MRU position (an LRU "touch").
+    pub fn promote(&mut self, lpn: Lpn) {
+        if let Some(&idx) = self.map.get(&lpn) {
+            self.unlink(idx);
+            self.push_front(idx);
+        }
+    }
+
+    /// Mutate an entry in place (no LRU movement), keeping the dirty count
+    /// consistent. Returns `None` if the entry is not cached.
+    pub fn update_entry<R>(&mut self, lpn: Lpn, f: impl FnOnce(&mut CacheEntry) -> R) -> Option<R> {
+        let &idx = self.map.get(&lpn)?;
+        let was_dirty = self.nodes[idx].entry.dirty;
+        let r = f(&mut self.nodes[idx].entry);
+        debug_assert_eq!(self.nodes[idx].entry.lpn, lpn, "entry lpn must not change");
+        let is_dirty = self.nodes[idx].entry.dirty;
+        match (was_dirty, is_dirty) {
+            (false, true) => self.dirty_count += 1,
+            (true, false) => self.dirty_count -= 1,
+            _ => {}
+        }
+        Some(r)
+    }
+
+    /// Insert a new entry at the MRU position. Panics if the LPN is already
+    /// cached or the cache is full — callers evict first.
+    pub fn insert(&mut self, entry: CacheEntry) {
+        assert!(!self.is_full(), "insert into full cache — evict first");
+        assert!(!self.map.contains_key(&entry.lpn), "duplicate insert for {:?}", entry.lpn);
+        if entry.dirty {
+            self.dirty_count += 1;
+        }
+        let idx = if let Some(i) = self.free.pop() {
+            self.nodes[i] = Node { entry, prev: NIL, next: NIL };
+            i
+        } else {
+            self.nodes.push(Node { entry, prev: NIL, next: NIL });
+            self.nodes.len() - 1
+        };
+        self.map.insert(entry.lpn, idx);
+        self.push_front(idx);
+    }
+
+    /// Remove and return a specific entry.
+    pub fn remove(&mut self, lpn: Lpn) -> Option<CacheEntry> {
+        let idx = self.map.remove(&lpn)?;
+        self.unlink(idx);
+        self.free.push(idx);
+        let entry = self.nodes[idx].entry;
+        if entry.dirty {
+            self.dirty_count -= 1;
+        }
+        Some(entry)
+    }
+
+    /// The least-recently-used entry, if any.
+    pub fn peek_lru(&self) -> Option<&CacheEntry> {
+        (self.tail != NIL).then(|| &self.nodes[self.tail].entry)
+    }
+
+    /// Remove and return the least-recently-used entry.
+    pub fn pop_lru(&mut self) -> Option<CacheEntry> {
+        let lpn = self.peek_lru()?.lpn;
+        self.remove(lpn)
+    }
+
+    /// All cached LPNs in `[lo, hi)` (used to batch a synchronization
+    /// operation over one translation page; dirty-only filtering is the
+    /// caller's choice via [`MappingCache::lookup`]).
+    pub fn dirty_lpns_in_range(&self, lo: Lpn, hi: Lpn) -> Vec<Lpn> {
+        self.map
+            .range(lo..hi)
+            .filter(|(_, &idx)| self.nodes[idx].entry.dirty)
+            .map(|(lpn, _)| *lpn)
+            .collect()
+    }
+
+    /// Dirty entries whose last write predates `epoch` — the checkpoint
+    /// sweep set (§4.3).
+    pub fn dirty_written_before(&self, epoch: u64) -> Vec<Lpn> {
+        self.iter_lru_order()
+            .filter(|e| e.dirty && e.written_epoch < epoch)
+            .map(|e| e.lpn)
+            .collect()
+    }
+
+    /// The oldest (closest to LRU end) dirty entry, if any — used by the
+    /// restricted-dirty policy of LazyFTL / IB-FTL.
+    pub fn oldest_dirty(&self) -> Option<&CacheEntry> {
+        self.iter_lru_order().find(|e| e.dirty)
+    }
+
+    /// Iterate entries from least- to most-recently used.
+    pub fn iter_lru_order(&self) -> LruIter<'_> {
+        LruIter { cache: self, cursor: self.tail }
+    }
+
+    /// Iterate all entries in LPN order.
+    pub fn iter_by_lpn(&self) -> impl Iterator<Item = &CacheEntry> {
+        self.map.values().map(|&i| &self.nodes[i].entry)
+    }
+}
+
+/// Iterator over cache entries in LRU→MRU order.
+pub struct LruIter<'a> {
+    cache: &'a MappingCache,
+    cursor: usize,
+}
+
+impl<'a> Iterator for LruIter<'a> {
+    type Item = &'a CacheEntry;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let node = &self.cache.nodes[self.cursor];
+        self.cursor = node.prev;
+        Some(&node.entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(lpn: u32, ppn: u32, dirty: bool) -> CacheEntry {
+        CacheEntry {
+            lpn: Lpn(lpn),
+            ppn: Ppn(ppn),
+            dirty,
+            uip: false,
+            uncertain: false,
+            written_epoch: 0,
+        }
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = MappingCache::new(3);
+        c.insert(entry(1, 10, false));
+        c.insert(entry(2, 20, false));
+        c.insert(entry(3, 30, false));
+        assert!(c.is_full());
+        c.promote(Lpn(1)); // order now (LRU→MRU): 2, 3, 1
+        assert_eq!(c.pop_lru().unwrap().lpn, Lpn(2));
+        assert_eq!(c.pop_lru().unwrap().lpn, Lpn(3));
+        assert_eq!(c.pop_lru().unwrap().lpn, Lpn(1));
+        assert!(c.pop_lru().is_none());
+    }
+
+    #[test]
+    fn dirty_count_tracks_flag_changes() {
+        let mut c = MappingCache::new(4);
+        c.insert(entry(1, 10, true));
+        c.insert(entry(2, 20, false));
+        assert_eq!(c.dirty_count(), 1);
+        c.update_entry(Lpn(2), |e| e.dirty = true);
+        assert_eq!(c.dirty_count(), 2);
+        c.update_entry(Lpn(1), |e| e.dirty = false);
+        assert_eq!(c.dirty_count(), 1);
+        c.remove(Lpn(2));
+        assert_eq!(c.dirty_count(), 0);
+    }
+
+    #[test]
+    fn range_query_finds_only_dirty_entries_in_tpage() {
+        let mut c = MappingCache::new(8);
+        c.insert(entry(5, 1, true));
+        c.insert(entry(6, 2, false));
+        c.insert(entry(7, 3, true));
+        c.insert(entry(1029, 4, true)); // outside [0, 1024)
+        let lpns = c.dirty_lpns_in_range(Lpn(0), Lpn(1024));
+        assert_eq!(lpns, vec![Lpn(5), Lpn(7)]);
+    }
+
+    #[test]
+    fn checkpoint_sweep_selects_stale_dirty_entries() {
+        let mut c = MappingCache::new(8);
+        let mut e1 = entry(1, 1, true);
+        e1.written_epoch = 0;
+        let mut e2 = entry(2, 2, true);
+        e2.written_epoch = 2;
+        let mut e3 = entry(3, 3, false);
+        e3.written_epoch = 0;
+        c.insert(e1);
+        c.insert(e2);
+        c.insert(e3);
+        assert_eq!(c.dirty_written_before(2), vec![Lpn(1)]);
+    }
+
+    #[test]
+    fn reinsertion_after_removal_reuses_slots() {
+        let mut c = MappingCache::new(2);
+        c.insert(entry(1, 1, false));
+        c.insert(entry(2, 2, false));
+        c.remove(Lpn(1));
+        c.insert(entry(3, 3, false));
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(Lpn(3)).is_some());
+        // Backing storage did not grow beyond capacity.
+        assert!(c.nodes.len() <= 2);
+    }
+
+    #[test]
+    fn oldest_dirty_walks_from_lru_end() {
+        let mut c = MappingCache::new(4);
+        c.insert(entry(1, 1, false));
+        c.insert(entry(2, 2, true));
+        c.insert(entry(3, 3, true));
+        assert_eq!(c.oldest_dirty().unwrap().lpn, Lpn(2));
+        c.promote(Lpn(2));
+        assert_eq!(c.oldest_dirty().unwrap().lpn, Lpn(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "evict first")]
+    fn insert_into_full_cache_panics() {
+        let mut c = MappingCache::new(1);
+        c.insert(entry(1, 1, false));
+        c.insert(entry(2, 2, false));
+    }
+
+    #[test]
+    fn lru_iteration_order_is_stable() {
+        let mut c = MappingCache::new(4);
+        for i in 0..4 {
+            c.insert(entry(i, i, false));
+        }
+        let order: Vec<u32> = c.iter_lru_order().map(|e| e.lpn.0).collect();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+        let by_lpn: Vec<u32> = c.iter_by_lpn().map(|e| e.lpn.0).collect();
+        assert_eq!(by_lpn, vec![0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,479 @@
+//! Physical space management: block groups, active blocks, the free pool and
+//! the Blocks Validity Counter (BVC).
+//!
+//! GeckoFTL separates flash pages into groups of blocks by type (Figure 8):
+//! user blocks, translation blocks, and metadata blocks (Gecko runs — or,
+//! for the baselines, PVB/PVL pages). Each group has one *active block*
+//! written append-only; when it fills up, a new active block is allocated
+//! from the free pool.
+//!
+//! The BVC (Figure 7) tracks the number of valid pages per block and drives
+//! garbage-collection victim selection. Under the metadata-aware GC policy
+//! (§4.2) translation/metadata blocks are never migrated: they are erased as
+//! soon as their last valid page is superseded, which this module detects on
+//! [`BlockManager::page_obsolete`].
+
+use crate::validity::MetaSink;
+use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, MetaKind, PageData, Ppn, SpareInfo};
+use std::collections::{HashSet, VecDeque};
+
+/// The block groups of Figure 8. PVB and PVL blocks take the "Gecko blocks"
+/// role for the baseline FTLs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BlockGroup {
+    /// User data (≈99.9 % of the device).
+    User,
+    /// Translation pages (≈0.1 %).
+    Translation,
+    /// Page-validity metadata (≈0.01 %): Gecko runs, PVB pages or PVL pages.
+    Meta(MetaKind),
+}
+
+impl BlockGroup {
+    /// All block groups, for reports and sweeps.
+    pub const ALL: [BlockGroup; 5] = [
+        BlockGroup::User,
+        BlockGroup::Translation,
+        BlockGroup::Meta(MetaKind::GeckoRun),
+        BlockGroup::Meta(MetaKind::Pvb),
+        BlockGroup::Meta(MetaKind::Pvl),
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            BlockGroup::User => 0,
+            BlockGroup::Translation => 1,
+            BlockGroup::Meta(MetaKind::GeckoRun) => 2,
+            BlockGroup::Meta(MetaKind::Pvb) => 3,
+            BlockGroup::Meta(MetaKind::Pvl) => 4,
+        }
+    }
+
+    /// Whether this group holds metadata (eligible for erase-when-empty
+    /// under the metadata-aware policy).
+    pub fn is_metadata(self) -> bool {
+        !matches!(self, BlockGroup::User)
+    }
+
+    /// IO purpose charged when a block of this group is erased by the
+    /// erase-when-empty path.
+    fn erase_purpose(self) -> IoPurpose {
+        match self {
+            BlockGroup::User => IoPurpose::GcMigrateUser,
+            BlockGroup::Translation => IoPurpose::TranslationGc,
+            BlockGroup::Meta(_) => IoPurpose::ValidityGc,
+        }
+    }
+}
+
+/// Per-block bookkeeping state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockState {
+    /// In the free pool.
+    Free,
+    /// Allocated to a group (the write pointer lives in the device).
+    InUse(BlockGroup),
+}
+
+/// Manager of block allocation, groups and validity counters.
+#[derive(Clone, Debug)]
+pub struct BlockManager {
+    geo: Geometry,
+    state: Vec<BlockState>,
+    active: [Option<BlockId>; 5],
+    free: VecDeque<BlockId>,
+    /// BVC: number of valid pages per block.
+    bvc: Vec<u32>,
+    /// Whether metadata blocks are erased as soon as they become fully
+    /// invalid (GeckoFTL's §4.2 policy). When false, they wait for the
+    /// greedy garbage-collector like any other block.
+    pub erase_empty_metadata: bool,
+    /// Blocks that must not be erased or garbage-collected right now:
+    /// GeckoRec's buffer recovery (App. C.2.2) needs the previous version of
+    /// recently updated translation pages, so the engine protects their
+    /// blocks until the next Gecko buffer flush.
+    protected: HashSet<BlockId>,
+}
+
+impl BlockManager {
+    /// A fresh manager: every block free.
+    pub fn new(geo: Geometry) -> Self {
+        BlockManager {
+            geo,
+            state: vec![BlockState::Free; geo.blocks as usize],
+            active: [None; 5],
+            free: geo.iter_blocks().collect(),
+            bvc: vec![0; geo.blocks as usize],
+            erase_empty_metadata: true,
+            protected: HashSet::new(),
+        }
+    }
+
+    /// Rebuild a manager from recovered per-block state (used by GeckoRec).
+    pub fn from_recovered(
+        geo: Geometry,
+        state: Vec<BlockState>,
+        bvc: Vec<u32>,
+        erase_empty_metadata: bool,
+    ) -> Self {
+        assert_eq!(state.len(), geo.blocks as usize);
+        assert_eq!(bvc.len(), geo.blocks as usize);
+        let free = geo
+            .iter_blocks()
+            .filter(|b| state[b.0 as usize] == BlockState::Free)
+            .collect();
+        BlockManager {
+            geo,
+            state,
+            active: [None; 5],
+            free,
+            bvc,
+            erase_empty_metadata,
+            protected: HashSet::new(),
+        }
+    }
+
+    /// Number of blocks currently in the free pool.
+    pub fn free_blocks(&self) -> usize {
+        self.free.len()
+    }
+
+    /// The BVC value (valid pages) for a block.
+    pub fn valid_pages(&self, block: BlockId) -> u32 {
+        self.bvc[block.0 as usize]
+    }
+
+    /// Group a block belongs to, if allocated.
+    pub fn group_of(&self, block: BlockId) -> Option<BlockGroup> {
+        match self.state[block.0 as usize] {
+            BlockState::Free => None,
+            BlockState::InUse(g) => Some(g),
+        }
+    }
+
+    /// Whether `block` is the active (append-target) block of its group.
+    pub fn is_active(&self, block: BlockId) -> bool {
+        self.active.contains(&Some(block))
+    }
+
+    /// Protect a block from erasure and GC until the next
+    /// [`BlockManager::clear_protection`] (App. C.2.2's no-erase list).
+    pub fn protect(&mut self, block: BlockId) {
+        self.protected.insert(block);
+    }
+
+    /// Whether a block is currently protected.
+    pub fn is_protected(&self, block: BlockId) -> bool {
+        self.protected.contains(&block)
+    }
+
+    /// Number of currently protected blocks.
+    pub fn protected_count(&self) -> usize {
+        self.protected.len()
+    }
+
+    /// Drop all protections (called when Gecko's buffer flushes) and return
+    /// the blocks that were protected so the engine can erase any that have
+    /// become fully invalid in the meantime.
+    pub fn clear_protection(&mut self) -> Vec<BlockId> {
+        self.protected.drain().collect()
+    }
+
+    /// Integrated-RAM footprint of BVC: 2 bytes per block (Appendix B).
+    pub fn bvc_ram_bytes(&self) -> u64 {
+        2 * self.geo.blocks as u64
+    }
+
+    /// Iterate blocks allocated to a group.
+    pub fn blocks_of_group(&self, group: BlockGroup) -> impl Iterator<Item = BlockId> + '_ {
+        self.geo
+            .iter_blocks()
+            .filter(move |b| self.state[b.0 as usize] == BlockState::InUse(group))
+    }
+
+    fn ensure_active(&mut self, dev: &FlashDevice, group: BlockGroup) -> BlockId {
+        let slot = group.index();
+        if let Some(b) = self.active[slot] {
+            if !dev.block_is_full(b) {
+                return b;
+            }
+            self.active[slot] = None; // sealed
+        }
+        let b = self
+            .free
+            .pop_front()
+            .expect("free pool exhausted — GC threshold must keep a reserve");
+        debug_assert!(dev.written_pages(b) == 0, "free block must be erased");
+        self.state[b.0 as usize] = BlockState::InUse(group);
+        self.active[slot] = Some(b);
+        b
+    }
+
+    /// Adopt an existing partially-written block as the group's active block
+    /// (used after recovery, which finds the old actives half-full).
+    pub fn adopt_active(&mut self, block: BlockId, group: BlockGroup) {
+        debug_assert_eq!(self.state[block.0 as usize], BlockState::InUse(group));
+        self.active[group.index()] = Some(block);
+    }
+
+    /// Append a page to the active block of `group`. The caller guarantees a
+    /// free-block reserve via the GC trigger threshold.
+    pub fn append(
+        &mut self,
+        dev: &mut FlashDevice,
+        group: BlockGroup,
+        data: PageData,
+        info: SpareInfo,
+        purpose: IoPurpose,
+    ) -> Ppn {
+        let block = self.ensure_active(dev, group);
+        let ppn = dev
+            .write_page(block, data, info, purpose)
+            .expect("active block has free pages");
+        self.bvc[block.0 as usize] += 1;
+        ppn
+    }
+
+    /// Report that a written page no longer holds live data. Decrements BVC
+    /// and, for metadata blocks under the metadata-aware policy, erases the
+    /// block once it holds no valid pages (§4.2: "waits until all pages in a
+    /// Gecko block or a translation block have become invalid and only then
+    /// erases the block").
+    pub fn page_obsolete(&mut self, dev: &mut FlashDevice, ppn: Ppn) {
+        let block = self.geo.block_of(ppn);
+        let i = block.0 as usize;
+        debug_assert!(self.bvc[i] > 0, "BVC underflow on {block:?}");
+        self.bvc[i] = self.bvc[i].saturating_sub(1);
+        if self.bvc[i] == 0
+            && self.erase_empty_metadata
+            && !self.is_active(block)
+            && !self.is_protected(block)
+        {
+            if let BlockState::InUse(group) = self.state[i] {
+                if group.is_metadata() {
+                    self.erase_and_free(dev, block, group.erase_purpose());
+                }
+            }
+        }
+    }
+
+    /// Like [`BlockManager::page_obsolete`], but tolerates a zero counter.
+    /// Used only by the post-recovery flag-correction path (App. C.3.2),
+    /// which may re-report a page whose invalidation was already counted
+    /// during BVC recovery; the paper accepts this benign double-report.
+    pub fn page_obsolete_lenient(&mut self, dev: &mut FlashDevice, ppn: Ppn) {
+        if self.bvc[self.geo.block_of(ppn).0 as usize] > 0 {
+            self.page_obsolete(dev, ppn);
+        }
+    }
+
+    /// Erase a block and return it to the free pool.
+    pub fn erase_and_free(&mut self, dev: &mut FlashDevice, block: BlockId, purpose: IoPurpose) {
+        debug_assert!(!self.is_active(block), "cannot erase an active block");
+        dev.erase_block(block, purpose).expect("erase of in-range block");
+        self.state[block.0 as usize] = BlockState::Free;
+        self.bvc[block.0 as usize] = 0;
+        self.free.push_back(block);
+    }
+
+    /// Greedy victim selection: the full, non-active block with the fewest
+    /// valid pages among `eligible` groups. Returns `None` if no block has
+    /// any invalid page.
+    pub fn pick_victim(
+        &self,
+        dev: &FlashDevice,
+        eligible: impl Fn(BlockGroup) -> bool,
+    ) -> Option<BlockId> {
+        let mut best: Option<(u32, BlockId)> = None;
+        for b in self.geo.iter_blocks() {
+            let BlockState::InUse(group) = self.state[b.0 as usize] else {
+                continue;
+            };
+            if !eligible(group) || self.is_active(b) || !dev.block_is_full(b) || self.is_protected(b)
+            {
+                continue;
+            }
+            let valid = self.bvc[b.0 as usize];
+            if valid >= self.geo.pages_per_block {
+                continue; // nothing reclaimable
+            }
+            if best.is_none_or(|(v, _)| valid < v) {
+                best = Some((valid, b));
+            }
+        }
+        best.map(|(_, b)| b)
+    }
+}
+
+/// Flash-resident validity stores write their pages through the block
+/// manager like everything else.
+impl MetaSink for BlockManager {
+    fn append_meta(
+        &mut self,
+        dev: &mut FlashDevice,
+        kind: MetaKind,
+        tag: u64,
+        data: PageData,
+        purpose: IoPurpose,
+    ) -> Ppn {
+        self.append(dev, BlockGroup::Meta(kind), data, SpareInfo::Meta { kind, tag }, purpose)
+    }
+
+    fn meta_page_obsolete(&mut self, dev: &mut FlashDevice, ppn: Ppn) {
+        self.page_obsolete(dev, ppn);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::Lpn;
+
+    fn setup() -> (FlashDevice, BlockManager) {
+        let geo = Geometry::tiny();
+        (FlashDevice::new(geo), BlockManager::new(geo))
+    }
+
+    fn user_page(lpn: u32) -> (PageData, SpareInfo) {
+        (
+            PageData::User { lpn: Lpn(lpn), version: 0 },
+            SpareInfo::User { lpn: Lpn(lpn), before: None },
+        )
+    }
+
+    #[test]
+    fn appends_stay_in_group_active_block() {
+        let (mut dev, mut bm) = setup();
+        let (d1, s1) = user_page(1);
+        let p1 = bm.append(&mut dev, BlockGroup::User, d1, s1, IoPurpose::UserWrite);
+        let (d2, s2) = user_page(2);
+        let p2 = bm.append(&mut dev, BlockGroup::User, d2, s2, IoPurpose::UserWrite);
+        assert_eq!(dev.geometry().block_of(p1), dev.geometry().block_of(p2));
+        assert_eq!(bm.valid_pages(dev.geometry().block_of(p1)), 2);
+        assert_eq!(bm.group_of(dev.geometry().block_of(p1)), Some(BlockGroup::User));
+    }
+
+    #[test]
+    fn groups_use_distinct_blocks() {
+        let (mut dev, mut bm) = setup();
+        let (d, s) = user_page(1);
+        let pu = bm.append(&mut dev, BlockGroup::User, d, s, IoPurpose::UserWrite);
+        let pt = bm.append(
+            &mut dev,
+            BlockGroup::Translation,
+            PageData::blob_of(0u32),
+            SpareInfo::Translation { tpage: 0 },
+            IoPurpose::TranslationSync,
+        );
+        assert_ne!(dev.geometry().block_of(pu), dev.geometry().block_of(pt));
+    }
+
+    #[test]
+    fn full_active_block_rolls_over() {
+        let (mut dev, mut bm) = setup();
+        let per_block = dev.geometry().pages_per_block;
+        let mut first_block = None;
+        for i in 0..=per_block {
+            let (d, s) = user_page(i);
+            let p = bm.append(&mut dev, BlockGroup::User, d, s, IoPurpose::UserWrite);
+            let b = dev.geometry().block_of(p);
+            match first_block {
+                None => first_block = Some(b),
+                Some(fb) if i < per_block => assert_eq!(b, fb),
+                Some(fb) => assert_ne!(b, fb, "rollover expected after {per_block} pages"),
+            }
+        }
+    }
+
+    #[test]
+    fn metadata_block_erased_when_fully_invalid() {
+        let (mut dev, mut bm) = setup();
+        let per_block = dev.geometry().pages_per_block;
+        // Fill one gecko block and roll into a second so the first seals.
+        let mut pages = Vec::new();
+        for i in 0..=per_block {
+            let p = bm.append_meta(
+                &mut dev,
+                MetaKind::GeckoRun,
+                i as u64,
+                PageData::blob_of(i),
+                IoPurpose::ValidityUpdate,
+            );
+            pages.push(p);
+        }
+        let first = dev.geometry().block_of(pages[0]);
+        let free_before = bm.free_blocks();
+        for p in &pages[..per_block as usize] {
+            bm.meta_page_obsolete(&mut dev, *p);
+        }
+        assert_eq!(bm.group_of(first), None, "fully-invalid metadata block must be erased");
+        assert_eq!(bm.free_blocks(), free_before + 1);
+        assert_eq!(dev.erase_count(first), 1);
+    }
+
+    #[test]
+    fn metadata_erase_when_empty_can_be_disabled() {
+        let (mut dev, mut bm) = setup();
+        bm.erase_empty_metadata = false;
+        let per_block = dev.geometry().pages_per_block;
+        let mut pages = Vec::new();
+        for i in 0..=per_block {
+            pages.push(bm.append_meta(
+                &mut dev,
+                MetaKind::Pvb,
+                i as u64,
+                PageData::blob_of(i),
+                IoPurpose::ValidityUpdate,
+            ));
+        }
+        let first = dev.geometry().block_of(pages[0]);
+        for p in &pages[..per_block as usize] {
+            bm.meta_page_obsolete(&mut dev, *p);
+        }
+        assert_eq!(bm.group_of(first), Some(BlockGroup::Meta(MetaKind::Pvb)));
+        assert_eq!(dev.erase_count(first), 0);
+    }
+
+    #[test]
+    fn greedy_victim_is_min_valid_full_block() {
+        let (mut dev, mut bm) = setup();
+        let per_block = dev.geometry().pages_per_block;
+        // Fill three user blocks.
+        let mut pages = Vec::new();
+        for i in 0..3 * per_block {
+            let (d, s) = user_page(i);
+            pages.push(bm.append(&mut dev, BlockGroup::User, d, s, IoPurpose::UserWrite));
+        }
+        let b0 = dev.geometry().block_of(pages[0]);
+        let b1 = dev.geometry().block_of(pages[per_block as usize]);
+        // Invalidate 2 pages in b0 and 5 in b1.
+        for p in &pages[..2] {
+            bm.page_obsolete(&mut dev, *p);
+        }
+        for p in &pages[per_block as usize..per_block as usize + 5] {
+            bm.page_obsolete(&mut dev, *p);
+        }
+        assert_eq!(bm.pick_victim(&dev, |_| true), Some(b1));
+        // Fully-valid or active blocks are never chosen.
+        assert_ne!(bm.pick_victim(&dev, |_| true), Some(b0.min(b1).min(BlockId(2))));
+    }
+
+    #[test]
+    fn victim_selection_respects_group_filter() {
+        let (mut dev, mut bm) = setup();
+        let per_block = dev.geometry().pages_per_block;
+        let mut pages = Vec::new();
+        for i in 0..=per_block {
+            pages.push(bm.append_meta(
+                &mut dev,
+                MetaKind::Pvb,
+                i as u64,
+                PageData::blob_of(i),
+                IoPurpose::ValidityUpdate,
+            ));
+        }
+        bm.meta_page_obsolete(&mut dev, pages[0]);
+        assert!(bm.pick_victim(&dev, |g| g == BlockGroup::User).is_none());
+        assert!(bm.pick_victim(&dev, |g| g.is_metadata()).is_some());
+    }
+}

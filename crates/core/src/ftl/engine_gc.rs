@@ -1,0 +1,230 @@
+//! Garbage collection (paper §4, §4.2): victim selection, live-page
+//! migration with UIP identification (§4.1), and the metadata-aware policy.
+
+use super::block_manager::BlockGroup;
+use super::{FtlEngine, GcPolicy};
+use crate::cache::CacheEntry;
+use flash_sim::{BlockId, IoPurpose, PageData, SpareInfo};
+
+fn paranoid() -> bool {
+    std::env::var("GECKO_PARANOID").is_ok()
+}
+
+impl FtlEngine {
+    /// Ground truth for diagnostics: the newest physical copy of `lpn`.
+    fn true_newest(&self, lpn: flash_sim::Lpn) -> Option<(flash_sim::Ppn, u64)> {
+        let geo = self.geometry();
+        let mut best: Option<(flash_sim::Ppn, u64)> = None;
+        for b in geo.iter_blocks() {
+            for (ppn, data) in self.dev.peek_block_pages(b) {
+                if let Some((l, _)) = data.as_user() {
+                    if l == lpn {
+                        let seq = self.dev.peek_spare(ppn).expect("written").seq;
+                        if best.is_none_or(|(_, s)| seq > s) {
+                            best = Some((ppn, seq));
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+}
+
+impl FtlEngine {
+    /// Run garbage collection until the free pool is back above the
+    /// threshold. Called at the top of every application write.
+    pub(crate) fn maybe_gc(&mut self) {
+        while self.bm.free_blocks() < self.cfg.gc_free_threshold {
+            if self.collect_once() {
+                // Long GC bursts tick the checkpoint clock (migrations are
+                // user-page writes); honor the period between victims so
+                // the recovery-scan bound stays ≈2·C + O(B) pages.
+                self.maybe_checkpoint();
+                continue;
+            }
+            // No victim found: all invalid pages may be unidentified (UIP).
+            // Force identification by syncing everything, then retry once.
+            self.sync_all_dirty();
+            assert!(
+                self.collect_once(),
+                "device full: no reclaimable block even after full synchronization"
+            );
+        }
+    }
+
+    /// Pick and collect one victim block. Returns false if no block has any
+    /// reclaimable (known-invalid) page.
+    pub(crate) fn collect_once(&mut self) -> bool {
+        let policy = self.cfg.gc_policy;
+        let collectable_meta = self.backend.store_ref().collectable_meta();
+        // A fully-invalid block needs no migration, so it is a legal victim
+        // for every policy and every group (greedy picks it first anyway —
+        // its valid count is 0).
+        if let Some(victim) = self.bm.pick_victim(&self.dev, |_| true) {
+            if self.bm.valid_pages(victim) == 0 {
+                self.counters.gc_operations += 1;
+                if self.bm.group_of(victim) == Some(BlockGroup::User) {
+                    // Erase markers still need to supersede older validity
+                    // info about the block.
+                    self.backend.store().note_erase(&mut self.dev, &mut self.bm, victim);
+                }
+                self.bm.erase_and_free(&mut self.dev, victim, IoPurpose::GcMigrateUser);
+                return true;
+            }
+        }
+        let victim = self.bm.pick_victim(&self.dev, |group| match policy {
+            GcPolicy::MetadataAware => group == BlockGroup::User,
+            GcPolicy::GreedyAll => match group {
+                BlockGroup::User | BlockGroup::Translation => true,
+                BlockGroup::Meta(kind) => Some(kind) == collectable_meta,
+            },
+        });
+        let Some(victim) = victim else { return false };
+        self.counters.gc_operations += 1;
+        match self.bm.group_of(victim).expect("victim is allocated") {
+            BlockGroup::User => self.collect_user_block(victim),
+            BlockGroup::Translation => self.collect_translation_block(victim),
+            BlockGroup::Meta(_) => self.collect_meta_block(victim),
+        }
+        true
+    }
+
+    /// Collect a user-block victim: query the validity store, migrate live
+    /// pages (skipping unidentified invalid pages via the §4.1 spare-check),
+    /// report the erase, erase the block.
+    pub(crate) fn collect_user_block(&mut self, victim: BlockId) {
+        self.gc_invalidated.clear();
+        let invalid = self.backend.store().gc_query(&mut self.dev, &mut self.bm, victim);
+        let written = self.dev.written_pages(victim);
+        let geo = self.geometry();
+        for off in 0..written {
+            if invalid.get(off) {
+                continue;
+            }
+            let ppn = geo.ppn(victim, flash_sim::PageOffset(off));
+            // A synchronization performed *during this collection* may have
+            // invalidated pages after the query snapshot was taken.
+            if self.gc_invalidated.contains(&ppn) {
+                continue;
+            }
+            let spare = self
+                .dev
+                .read_spare(ppn, IoPurpose::GcMigrateUser)
+                .expect("written page has a spare area");
+            let SpareInfo::User { lpn, .. } = spare.info else {
+                panic!("user block page {ppn:?} carries non-user spare {:?}", spare.info)
+            };
+            // §4.1: "for every physical page Y in a victim block that
+            // Logarithmic Gecko reports as valid, we read the spare area
+            // ... if there is a cached mapping entry ... with the UIP flag
+            // set to true and with a different physical address than Y,
+            // then Y is a UIP and we do not migrate it."
+            if let Some(e) = self.cache.lookup(lpn) {
+                if e.ppn != ppn {
+                    if paranoid() {
+                        if let Some((best, _)) = self.true_newest(lpn) {
+                            if best == ppn {
+                                eprintln!("[PARANOID] GC SKIPPING the NEWEST copy {ppn:?} of {lpn:?} (cache says {:?} d={} u={} unc={})", e.ppn, e.dirty, e.uip, e.uncertain);
+                            }
+                        }
+                    }
+                    self.counters.gc_uip_skips += 1;
+                    // The erase marker below supersedes this page, so its
+                    // before-image is now identified: clear the UIP flag to
+                    // prevent a later sync from re-reporting a page on the
+                    // (about to be erased and possibly reused) block.
+                    self.cache.update_entry(lpn, |e| e.uip = false);
+                    continue;
+                }
+            }
+            // Live page: migrate it. "Garbage-collection migrations are
+            // treated like application writes; a dirty cached mapping entry
+            // is created for every page that is migrated."
+            if paranoid() {
+                if let Some((best, bseq)) = self.true_newest(lpn) {
+                    if best != ppn {
+                        let sseq = self.dev.peek_spare(ppn).expect("w").seq;
+                        eprintln!("[PARANOID] GC MIGRATING STALE copy {ppn:?} (seq {sseq}) of {lpn:?}; newest is {best:?} (seq {bseq}); cache={:?}", self.cache.lookup(lpn));
+                    }
+                }
+            }
+            let data = self
+                .dev
+                .read_page(ppn, IoPurpose::GcMigrateUser)
+                .expect("live page readable");
+            debug_assert!(matches!(data, PageData::User { .. }));
+            let new_ppn = self.bm.append(
+                &mut self.dev,
+                BlockGroup::User,
+                data,
+                // No before-pointer: the old copy sits on the victim and
+                // is superseded by the erase marker.
+                SpareInfo::User { lpn, before: None },
+                IoPurpose::GcMigrateUser,
+            );
+            self.counters.gc_migrations += 1;
+            self.tick_checkpoint_clock();
+            let epoch = self.current_epoch();
+            if self.cache.lookup(lpn).is_some() {
+                // Cached address necessarily equals the victim page here;
+                // repoint it. The before-image (this page) is covered by the
+                // erase marker, so no mark-invalid call is needed.
+                self.cache.update_entry(lpn, |e| {
+                    e.ppn = new_ppn;
+                    e.dirty = true;
+                    e.written_epoch = epoch;
+                });
+            } else {
+                self.make_room();
+                self.cache.insert(CacheEntry {
+                    lpn,
+                    ppn: new_ppn,
+                    dirty: true,
+                    uip: false, // before-image handled by the erase marker
+                    uncertain: false,
+                    written_epoch: epoch,
+                });
+            }
+        }
+        // Algorithm 2: one erase marker supersedes all older validity
+        // information about this block.
+        self.backend.store().note_erase(&mut self.dev, &mut self.bm, victim);
+        self.bm.erase_and_free(&mut self.dev, victim, IoPurpose::GcMigrateUser);
+        self.gc_invalidated.clear();
+    }
+
+    /// Collect a translation-block victim (baseline FTLs' greedy policy):
+    /// migrate the translation pages that the GMD still points into this
+    /// block, then erase it.
+    fn collect_translation_block(&mut self, victim: BlockId) {
+        let written = self.dev.written_pages(victim);
+        let geo = self.geometry();
+        for off in 0..written {
+            let ppn = geo.ppn(victim, flash_sim::PageOffset(off));
+            let spare = self
+                .dev
+                .read_spare(ppn, IoPurpose::TranslationGc)
+                .expect("written page has a spare area");
+            let SpareInfo::Translation { tpage } = spare.info else {
+                panic!("translation block page {ppn:?} carries {:?}", spare.info)
+            };
+            if self.tt.tpage_location(tpage) == Some(ppn) {
+                self.counters.gc_migrations += 1;
+                self.tt.migrate_tpage(&mut self.dev, &mut self.bm, tpage);
+            }
+        }
+        self.bm.erase_and_free(&mut self.dev, victim, IoPurpose::TranslationGc);
+    }
+
+    /// Collect a metadata-block victim by delegating to the validity store
+    /// (flash-resident PVB under the greedy policy), then erase it.
+    fn collect_meta_block(&mut self, victim: BlockId) {
+        self.backend.store().collect_meta_block(&mut self.dev, &mut self.bm, victim);
+        self.bm.erase_and_free(&mut self.dev, victim, IoPurpose::ValidityGc);
+    }
+
+    pub(crate) fn current_epoch(&self) -> u64 {
+        self.epoch
+    }
+}

@@ -1,0 +1,691 @@
+//! The FTL engine (paper §4): the machinery shared by GeckoFTL and the four
+//! baseline FTLs of the evaluation.
+//!
+//! One engine, three policy axes — exactly the axes along which the paper's
+//! §5.3 comparison varies:
+//!
+//! 1. **Validity store** ([`crate::validity::ValidityStore`]): RAM PVB,
+//!    flash PVB, page validity log, or Logarithmic Gecko.
+//! 2. **GC victim policy** ([`GcPolicy`]): greedy over all blocks, or
+//!    GeckoFTL's metadata-aware policy that never migrates metadata (§4.2).
+//! 3. **Recovery scheme** ([`RecoveryPolicy`]): battery-backed (DFTL, µ-FTL),
+//!    restricted-dirty-fraction (LazyFTL, IB-FTL), or GeckoFTL's
+//!    checkpoint-plus-deferred-synchronization scheme (§4.3).
+//!
+//! All five FTLs share GeckoFTL's lazy invalid-page identification (the UIP
+//! protocol of §4.1): sync-time invalidation uses the translation page that
+//! is being read anyway, so no FTL pays a fetch-on-miss read for writes.
+//! This normalization is what lets Figure 13/14-style comparisons attribute
+//! differences purely to the three axes above (see DESIGN.md).
+
+pub mod block_manager;
+mod engine_gc;
+
+pub use block_manager::{BlockGroup, BlockManager, BlockState};
+
+use crate::cache::{CacheEntry, MappingCache};
+use crate::gecko::{GeckoConfig, LogGecko};
+use crate::translation::TranslationTable;
+use crate::validity::ValidityStore;
+use flash_sim::{FlashDevice, Geometry, IoPurpose, Lpn, PageData, Ppn, SpareInfo};
+use std::collections::HashSet;
+
+/// Garbage-collection victim-selection policy (§4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GcPolicy {
+    /// The state-of-the-art greedy policy: always the block with the fewest
+    /// valid pages, regardless of its contents.
+    GreedyAll,
+    /// GeckoFTL's policy: greedy over user blocks only; metadata blocks are
+    /// never migrated, just erased once fully invalid.
+    MetadataAware,
+}
+
+/// How the FTL bounds the recovery cost of dirty cached mapping entries.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RecoveryPolicy {
+    /// A battery synchronizes everything before power runs out (DFTL,
+    /// µ-FTL). No runtime bound on dirty entries.
+    Battery,
+    /// At most `fraction · C` cached entries may be dirty; excess dirty
+    /// entries are synchronized eagerly (LazyFTL, IB-FTL). Trades runtime
+    /// write-amplification for bounded recovery.
+    RestrictedDirty {
+        /// Maximum dirty fraction of the cache (the paper's experiments use
+        /// 0.1).
+        fraction: f64,
+    },
+    /// GeckoFTL (§4.3): checkpoints every `C` cache operations bound the
+    /// recovery scan to `2·C` spare reads, and synchronization of recovered
+    /// entries is deferred until after normal operation resumes.
+    CheckpointDeferred,
+}
+
+/// Engine configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FtlConfig {
+    /// `C`: capacity of the LRU mapping cache, in entries.
+    pub cache_entries: usize,
+    /// GC triggers when the free pool drops below this many blocks.
+    pub gc_free_threshold: usize,
+    /// Victim-selection policy.
+    pub gc_policy: GcPolicy,
+    /// Dirty-entry recovery scheme.
+    pub recovery: RecoveryPolicy,
+    /// Checkpoint period in cache operations (defaults to `C`); only
+    /// meaningful under [`RecoveryPolicy::CheckpointDeferred`]. `None`
+    /// disables checkpoints (ablation), removing the recovery-scan bound.
+    pub checkpoint_period: Option<u64>,
+}
+
+impl FtlConfig {
+    /// The paper's cache-to-capacity ratio: 2¹⁹ entries for a 2 TB device
+    /// (4 MB of entries at 8 B each) ≈ 0.14 % of logical pages.
+    pub fn scaled_cache_entries(geo: &Geometry) -> usize {
+        ((geo.logical_pages() as f64 * (1 << 19) as f64 / 375_809_638.0) as usize).max(64)
+    }
+
+    /// GeckoFTL defaults for a geometry.
+    pub fn geckoftl(geo: &Geometry) -> Self {
+        FtlConfig {
+            cache_entries: Self::scaled_cache_entries(geo),
+            gc_free_threshold: 8,
+            gc_policy: GcPolicy::MetadataAware,
+            recovery: RecoveryPolicy::CheckpointDeferred,
+            checkpoint_period: None, // filled from cache_entries at build
+        }
+    }
+}
+
+/// The validity backend: GeckoFTL's Logarithmic Gecko is held concretely so
+/// the engine can drive its flush/recovery hooks; baseline stores plug in as
+/// trait objects.
+pub enum ValidityBackend {
+    /// Logarithmic Gecko (GeckoFTL).
+    Gecko(LogGecko),
+    /// Any other validity store (RAM/flash PVB, PVL).
+    External(Box<dyn ValidityStore>),
+}
+
+impl ValidityBackend {
+    /// The store as a trait object.
+    pub fn store(&mut self) -> &mut dyn ValidityStore {
+        match self {
+            ValidityBackend::Gecko(g) => g,
+            ValidityBackend::External(s) => s.as_mut(),
+        }
+    }
+
+    /// Immutable view for RAM accounting / naming.
+    pub fn store_ref(&self) -> &dyn ValidityStore {
+        match self {
+            ValidityBackend::Gecko(g) => g,
+            ValidityBackend::External(s) => s.as_ref(),
+        }
+    }
+
+    /// The Logarithmic Gecko instance, if this is a Gecko backend.
+    pub fn gecko(&self) -> Option<&LogGecko> {
+        match self {
+            ValidityBackend::Gecko(g) => Some(g),
+            ValidityBackend::External(_) => None,
+        }
+    }
+}
+
+/// Breakdown of the engine's integrated-RAM footprint, using the paper's
+/// per-structure accounting (§2 + Appendix B).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RamReport {
+    /// Global Mapping Directory.
+    pub gmd: u64,
+    /// LRU mapping cache (8 bytes/entry).
+    pub cache: u64,
+    /// Blocks Validity Counter (2 bytes/block).
+    pub bvc: u64,
+    /// The validity store's RAM state (PVB bitmap, run directories + merge
+    /// buffers, PVL head pointers, ...).
+    pub validity: u64,
+}
+
+impl RamReport {
+    /// Total integrated RAM in bytes.
+    pub fn total(&self) -> u64 {
+        self.gmd + self.cache + self.bvc + self.validity
+    }
+}
+
+/// A page-associative FTL instance running on a simulated flash device.
+pub struct FtlEngine {
+    pub(crate) dev: FlashDevice,
+    pub(crate) bm: BlockManager,
+    pub(crate) tt: TranslationTable,
+    pub(crate) cache: MappingCache,
+    pub(crate) backend: ValidityBackend,
+    pub(crate) cfg: FtlConfig,
+    /// Checkpoint epoch (increments at every checkpoint).
+    epoch: u64,
+    ops_since_checkpoint: u64,
+    /// Gecko flush watermark, to detect flushes and clear protections.
+    last_flush_seen: u64,
+    /// Pages invalidated since the current GC collection started; guards
+    /// against migrating pages that a mid-GC synchronization invalidated
+    /// after the GC query snapshot was taken.
+    pub(crate) gc_invalidated: HashSet<Ppn>,
+    /// Lifetime op counters.
+    pub counters: EngineCounters,
+}
+
+/// Engine-level (non-IO) counters for reports and ablations.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineCounters {
+    /// Application writes served.
+    pub writes: u64,
+    /// Application reads served.
+    pub reads: u64,
+    /// Synchronization operations performed (including aborted ones).
+    pub syncs: u64,
+    /// Synchronization operations aborted as all-false-alarms (App. C.3.1).
+    pub syncs_aborted: u64,
+    /// Checkpoints taken.
+    pub checkpoints: u64,
+    /// Garbage-collection operations (victims erased).
+    pub gc_operations: u64,
+    /// Live pages migrated by GC.
+    pub gc_migrations: u64,
+    /// Pages skipped by GC because the UIP spare-check identified them
+    /// (§4.1's garbage-collection policy).
+    pub gc_uip_skips: u64,
+}
+
+impl FtlEngine {
+    /// Format a fresh device and build an engine on it.
+    pub fn format(geo: Geometry, mut cfg: FtlConfig, backend: ValidityBackend) -> Self {
+        let dev = FlashDevice::new(geo);
+        Self::format_on(dev, &mut cfg, backend)
+    }
+
+    /// Build GeckoFTL with paper-default tuning on a fresh device.
+    pub fn geckoftl(geo: Geometry) -> Self {
+        let gecko = LogGecko::new(geo, GeckoConfig::paper_default(&geo));
+        Self::format(geo, FtlConfig::geckoftl(&geo), ValidityBackend::Gecko(gecko))
+    }
+
+    fn format_on(mut dev: FlashDevice, cfg: &mut FtlConfig, backend: ValidityBackend) -> Self {
+        let geo = dev.geometry();
+        if cfg.checkpoint_period.is_none()
+            && matches!(cfg.recovery, RecoveryPolicy::CheckpointDeferred)
+        {
+            cfg.checkpoint_period = Some(cfg.cache_entries as u64);
+        }
+        assert!(
+            (cfg.cache_entries as u64) < geo.overprovisioned_pages() / 2,
+            "cache too large: unidentified invalid pages could starve GC"
+        );
+        let mut bm = BlockManager::new(geo);
+        bm.erase_empty_metadata = cfg.gc_policy == GcPolicy::MetadataAware;
+        let mut tt = TranslationTable::new(geo);
+        tt.format(&mut dev, &mut bm);
+        let cache = MappingCache::new(cfg.cache_entries);
+        FtlEngine {
+            dev,
+            bm,
+            tt,
+            cache,
+            backend,
+            cfg: *cfg,
+            epoch: 1,
+            ops_since_checkpoint: 0,
+            last_flush_seen: 0,
+            gc_invalidated: HashSet::new(),
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// Reassemble an engine from recovered components. Used by GeckoRec and
+    /// by the baselines' clean-shutdown restart; not part of the ordinary
+    /// API surface.
+    #[doc(hidden)]
+    pub fn from_parts(
+        dev: FlashDevice,
+        bm: BlockManager,
+        tt: TranslationTable,
+        cache: MappingCache,
+        backend: ValidityBackend,
+        cfg: FtlConfig,
+    ) -> Self {
+        let last_flush_seen = backend.gecko().map_or(0, |g| g.last_flush_seq());
+        FtlEngine {
+            dev,
+            bm,
+            tt,
+            cache,
+            backend,
+            cfg,
+            epoch: 1,
+            ops_since_checkpoint: 0,
+            last_flush_seen,
+            gc_invalidated: HashSet::new(),
+            counters: EngineCounters::default(),
+        }
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.dev.geometry()
+    }
+
+    /// The underlying device (stats, clock).
+    pub fn device(&self) -> &FlashDevice {
+        &self.dev
+    }
+
+    /// Engine configuration.
+    pub fn config(&self) -> FtlConfig {
+        self.cfg
+    }
+
+    /// The mapping cache (inspection).
+    pub fn cache(&self) -> &MappingCache {
+        &self.cache
+    }
+
+    /// The block manager (inspection).
+    pub fn block_manager(&self) -> &BlockManager {
+        &self.bm
+    }
+
+    /// The translation table (inspection).
+    pub fn translation_table(&self) -> &TranslationTable {
+        &self.tt
+    }
+
+    /// The validity backend (inspection).
+    pub fn backend(&self) -> &ValidityBackend {
+        &self.backend
+    }
+
+    /// Integrated-RAM footprint breakdown (paper accounting).
+    pub fn ram_report(&self) -> RamReport {
+        RamReport {
+            gmd: self.tt.gmd_ram_bytes(),
+            cache: self.cache.ram_bytes(),
+            bvc: self.bm.bvc_ram_bytes(),
+            validity: self.backend.store_ref().ram_bytes(),
+        }
+    }
+
+    /// Simulate a power failure: all RAM-resident state is lost; only the
+    /// flash device survives. Feed the result to
+    /// [`crate::recovery::gecko_recover`].
+    pub fn crash(self) -> FlashDevice {
+        self.dev
+    }
+
+    /// Run a closure with mutable access to the device and block manager —
+    /// needed to materialize flash-resident baseline stores on the engine's
+    /// own device (e.g. µ-FTL's PVB formatting).
+    pub fn with_raw_parts<R>(
+        &mut self,
+        f: impl FnOnce(&mut FlashDevice, &mut BlockManager) -> R,
+    ) -> R {
+        f(&mut self.dev, &mut self.bm)
+    }
+
+    /// Swap the validity backend. Intended for baseline construction only —
+    /// swapping mid-workload would discard validity state.
+    pub fn replace_backend(&mut self, backend: ValidityBackend) {
+        self.backend = backend;
+    }
+
+    /// Application write: store a new version of logical page `lpn`.
+    pub fn write(&mut self, lpn: Lpn, version: u64) {
+        assert!(self.geometry().contains_lpn(lpn), "write outside logical space: {lpn:?}");
+        self.maybe_gc();
+        self.counters.writes += 1;
+        // Record the superseded copy's address in the new page's spare area
+        // so the immediate invalidation report (§4.1) survives a crash of
+        // Gecko's buffer (recovered by the step-6 backwards scan).
+        let before = self.cache.lookup(lpn).map(|e| e.ppn);
+        let ppn = self.bm.append(
+            &mut self.dev,
+            BlockGroup::User,
+            PageData::User { lpn, version },
+            SpareInfo::User { lpn, before },
+            IoPurpose::UserWrite,
+        );
+        self.dev.stats_mut().logical_writes += 1;
+        self.tick_checkpoint_clock();
+        self.install_write_mapping(lpn, ppn);
+        self.post_op();
+    }
+
+    /// Install the cache entry for a fresh write of `lpn` now at `ppn`
+    /// (shared by the write path and GC migrations; §4.1's cache protocol).
+    pub(crate) fn install_write_mapping(&mut self, lpn: Lpn, ppn: Ppn) {
+        let epoch = self.epoch;
+        if let Some(e) = self.cache.lookup(lpn) {
+            // Before-image is the currently cached address: report it
+            // invalid immediately; the UIP flag (covering the
+            // flash-resident entry's before-image) is left as-is.
+            // For a recovery-restored entry the same page may be re-reported
+            // by the C.3 correction path, so count it leniently.
+            let (old, uncertain) = (e.ppn, e.uncertain);
+            if uncertain {
+                self.invalidate_user_page_lenient(old);
+            } else {
+                self.invalidate_user_page(old);
+            }
+            self.cache.update_entry(lpn, |e| {
+                e.ppn = ppn;
+                e.dirty = true;
+                e.written_epoch = epoch;
+            });
+            self.cache.promote(lpn);
+        } else {
+            // Unknown before-image: defer identification via the UIP flag.
+            self.make_room();
+            self.cache.insert(CacheEntry {
+                lpn,
+                ppn,
+                dirty: true,
+                uip: true,
+                uncertain: false,
+                written_epoch: epoch,
+            });
+        }
+    }
+
+    /// Application read: returns the stored version tag, or `None` if the
+    /// page was never written.
+    pub fn read(&mut self, lpn: Lpn) -> Option<u64> {
+        assert!(self.geometry().contains_lpn(lpn), "read outside logical space: {lpn:?}");
+        self.counters.reads += 1;
+        self.dev.stats_mut().logical_reads += 1;
+        let ppn = if let Some(e) = self.cache.lookup(lpn) {
+            let p = e.ppn;
+            self.cache.promote(lpn);
+            p
+        } else {
+            let p = self.tt.lookup(&mut self.dev, lpn, IoPurpose::TranslationFetch)?;
+            self.make_room();
+            self.cache.insert(CacheEntry::clean(lpn, p));
+            self.post_op();
+            p
+        };
+        let data = self.dev.read_page(ppn, IoPurpose::UserRead).expect("mapped page readable");
+        let (stored_lpn, version) = data.as_user().expect("user block page holds user data");
+        debug_assert_eq!(stored_lpn, lpn, "mapping must point at this page's data");
+        Some(version)
+    }
+
+    /// The engine's current belief about where `lpn` lives: the cached
+    /// mapping if present, else the flash-resident translation table.
+    /// Unlike [`FtlEngine::read`], does not touch the cache (useful for
+    /// invariant checks in tests; charges a `TranslationFetch` read on
+    /// cache misses).
+    pub fn current_mapping(&mut self, lpn: Lpn) -> Option<Ppn> {
+        if let Some(e) = self.cache.lookup(lpn) {
+            return Some(e.ppn);
+        }
+        self.tt.lookup(&mut self.dev, lpn, IoPurpose::TranslationFetch)
+    }
+
+    /// Ask the validity store for a block's invalid bitmap without running a
+    /// GC operation (test/debug introspection; charges query IO).
+    pub fn debug_validity(&mut self, block: flash_sim::BlockId) -> crate::gecko::Bitmap {
+        self.backend.store().gc_query(&mut self.dev, &mut self.bm, block)
+    }
+
+    /// Report a user page invalid to the validity store and to BVC.
+    pub(crate) fn invalidate_user_page(&mut self, ppn: Ppn) {
+        self.gc_invalidated.insert(ppn);
+        self.backend.store().mark_invalid(&mut self.dev, &mut self.bm, ppn);
+        self.bm.page_obsolete(&mut self.dev, ppn);
+        self.after_validity_op();
+    }
+
+    /// As [`FtlEngine::invalidate_user_page`], but tolerant of BVC
+    /// double-counting — the App. C.3.2 re-report case.
+    pub(crate) fn invalidate_user_page_lenient(&mut self, ppn: Ppn) {
+        self.gc_invalidated.insert(ppn);
+        self.backend.store().mark_invalid(&mut self.dev, &mut self.bm, ppn);
+        self.bm.page_obsolete_lenient(&mut self.dev, ppn);
+        self.after_validity_op();
+    }
+
+    /// Evict (syncing as needed) until the cache has room for one insert.
+    pub(crate) fn make_room(&mut self) {
+        while self.cache.is_full() {
+            let victim = *self.cache.peek_lru().expect("full cache has an LRU entry");
+            if victim.dirty {
+                self.sync_tpage(self.tt.tpage_of(victim.lpn));
+            }
+            // The sync may have been aborted (recovery false alarm), in
+            // which case the entry is now clean; drop it either way.
+            self.cache.remove(victim.lpn);
+        }
+    }
+
+    /// Synchronization operation (§4): push every dirty cached entry of one
+    /// translation page to flash, identify before-images (UIP protocol) and
+    /// correct recovered flags (App. C.3).
+    pub(crate) fn sync_tpage(&mut self, tpage: u32) {
+        let (lo, hi) = self.tt.lpn_range(tpage);
+        let lpns = self.cache.dirty_lpns_in_range(lo, hi);
+        if lpns.is_empty() {
+            return;
+        }
+        self.counters.syncs += 1;
+        let mut verify = false;
+        let updates: Vec<(Lpn, Ppn)> = lpns
+            .iter()
+            .map(|&lpn| {
+                let e = self.cache.lookup(lpn).expect("dirty entry cached");
+                verify |= e.uncertain;
+                (lpn, e.ppn)
+            })
+            .collect();
+        // Keep the previous translation-page version findable for GeckoRec's
+        // buffer recovery (App. C.2.2). The protection must be in place
+        // *before* the synchronize call marks the old version obsolete —
+        // otherwise its block can become empty and be erased on the spot,
+        // leaving a gap in the version chain recovery diffs.
+        if matches!(self.backend, ValidityBackend::Gecko(_)) {
+            if let Some(old) = self.tt.tpage_location(tpage) {
+                self.bm.protect(self.geometry().block_of(old));
+            }
+            // Bound the protected set: when it grows past a handful of
+            // blocks, force a Gecko flush — this makes every buffered report
+            // durable, advances the recovery threshold, and lifts all
+            // protections (the paper bounds its recovery structures the same
+            // way, cf. C.2.2's cap on buffer absorption).
+            if self.bm.protected_count() > 8 {
+                self.backend.store().flush(&mut self.dev, &mut self.bm);
+                self.after_validity_op();
+            }
+        }
+        let outcome = self.tt.synchronize(&mut self.dev, &mut self.bm, tpage, &updates, verify);
+        if outcome.aborted {
+            self.counters.syncs_aborted += 1;
+        }
+        // Collect every before-image to report, then submit them as one
+        // atomic batch: a sync's reports must not straddle a Gecko buffer
+        // flush, or a crash would lose the tail while recovery's C.2.2 diff
+        // skips this sync (its translation page predates the flush).
+        let mut reports: Vec<(Ppn, bool)> = Vec::new();
+        for (lpn, before) in &outcome.before_images {
+            let e = *self.cache.lookup(*lpn).expect("synced entry cached");
+            if e.uip {
+                if let Some(before_ppn) = *before {
+                    if e.uncertain {
+                        // App. C.3.2: the before-image may have been erased
+                        // and rewritten before the crash; only report it if
+                        // its spare area still names this logical page.
+                        let still_before = self
+                            .dev
+                            .read_spare(before_ppn, IoPurpose::TranslationSync)
+                            .is_ok_and(|s| matches!(s.info, SpareInfo::User { lpn: l, .. } if l == *lpn));
+                        if still_before {
+                            reports.push((before_ppn, true));
+                        }
+                    } else {
+                        reports.push((before_ppn, false));
+                    }
+                }
+            }
+            self.cache.update_entry(*lpn, |e| {
+                e.dirty = false;
+                e.uip = false;
+                e.uncertain = false;
+            });
+        }
+        if !reports.is_empty() {
+            for &(ppn, lenient) in &reports {
+                self.gc_invalidated.insert(ppn);
+                if lenient {
+                    self.bm.page_obsolete_lenient(&mut self.dev, ppn);
+                } else {
+                    self.bm.page_obsolete(&mut self.dev, ppn);
+                }
+            }
+            let ppns: Vec<Ppn> = reports.iter().map(|(p, _)| *p).collect();
+            self.backend.store().mark_invalid_batch(&mut self.dev, &mut self.bm, &ppns);
+            self.after_validity_op();
+        }
+        for lpn in &outcome.already_synced {
+            // App. C.3.1: recovered entry was never dirty — clear the
+            // assumed flags without writing anything.
+            self.cache.update_entry(*lpn, |e| {
+                e.dirty = false;
+                e.uip = false;
+                e.uncertain = false;
+            });
+        }
+    }
+
+    /// Verify recovery-recreated entries that did not fit into the cache:
+    /// pass each through a synchronization operation (App. C.3 corrections)
+    /// and drop it again. Used only by [`crate::recovery::gecko_recover`].
+    pub(crate) fn resolve_recovered_overflow(&mut self, entries: Vec<CacheEntry>) {
+        for e in entries {
+            self.make_room();
+            self.cache.insert(e);
+            self.sync_tpage(self.tt.tpage_of(e.lpn));
+            self.cache.remove(e.lpn);
+        }
+    }
+
+    /// Synchronize every dirty entry (clean shutdown; GC fallback).
+    pub fn sync_all_dirty(&mut self) {
+        while let Some(e) = self.cache.oldest_dirty() {
+            let tpage = self.tt.tpage_of(e.lpn);
+            self.sync_tpage(tpage);
+        }
+    }
+
+    /// Clean shutdown: synchronize all dirty entries and persist validity
+    /// buffers. Models the battery-backed pre-shutdown work of DFTL/µ-FTL.
+    pub fn shutdown_clean(&mut self) {
+        self.sync_all_dirty();
+        self.backend.store().flush(&mut self.dev, &mut self.bm);
+        self.after_validity_op();
+    }
+
+    /// Count a user-page write toward the checkpoint period. GC migrations
+    /// tick too: they create dirty entries and emit user pages, and the
+    /// recovery scan's `2·C`-page bound is only sound if the period counts
+    /// every page the backwards scan will have to walk over.
+    pub(crate) fn tick_checkpoint_clock(&mut self) {
+        if matches!(self.cfg.recovery, RecoveryPolicy::CheckpointDeferred) {
+            self.ops_since_checkpoint += 1;
+        }
+    }
+
+    /// Take a checkpoint if the period has elapsed.
+    pub(crate) fn maybe_checkpoint(&mut self) {
+        if matches!(self.cfg.recovery, RecoveryPolicy::CheckpointDeferred) {
+            if let Some(period) = self.cfg.checkpoint_period {
+                if self.ops_since_checkpoint >= period {
+                    self.checkpoint();
+                }
+            }
+        }
+    }
+
+    /// Bookkeeping after each application-level operation.
+    fn post_op(&mut self) {
+        match self.cfg.recovery {
+            RecoveryPolicy::CheckpointDeferred => {
+                self.maybe_checkpoint();
+            }
+            RecoveryPolicy::RestrictedDirty { fraction } => {
+                let max_dirty = ((self.cfg.cache_entries as f64 * fraction) as usize).max(1);
+                while self.cache.dirty_count() > max_dirty {
+                    let lpn = self.cache.oldest_dirty().expect("dirty entries exist").lpn;
+                    self.sync_tpage(self.tt.tpage_of(lpn));
+                }
+            }
+            RecoveryPolicy::Battery => {}
+        }
+        self.after_validity_op();
+    }
+
+    /// Runtime checkpoint (§4.3): synchronize dirty entries not written
+    /// since the previous checkpoint, bounding recovery's backwards scan to
+    /// `2·C` spare reads.
+    pub fn checkpoint(&mut self) {
+        self.counters.checkpoints += 1;
+        self.ops_since_checkpoint = 0;
+        let stale = self.cache.dirty_written_before(self.epoch);
+        for lpn in stale {
+            // May already have been cleaned by an earlier batched sync.
+            if self.cache.lookup(lpn).is_some_and(|e| e.dirty) {
+                self.sync_tpage(self.tt.tpage_of(lpn));
+            }
+        }
+        self.epoch += 1;
+    }
+
+    /// Static wear-leveling (Appendix D): forcibly relocate the live pages
+    /// of an unworn, cold block so it returns to the allocation pool and
+    /// starts absorbing writes. The victim is typically chosen by
+    /// [`crate::wear::WearLeveler::pick_static_victim`].
+    ///
+    /// Returns the number of pages migrated, or `None` if the block is not
+    /// an eligible (sealed, user-group) victim.
+    pub fn wear_level_block(&mut self, block: flash_sim::BlockId) -> Option<u32> {
+        if self.bm.group_of(block) != Some(BlockGroup::User)
+            || self.bm.is_active(block)
+            || !self.dev.block_is_full(block)
+        {
+            return None;
+        }
+        let migrated_before = self.counters.gc_migrations;
+        // Reuse the GC collection machinery: it migrates exactly the live
+        // pages (wear-leveling migrations are GC migrations with a
+        // hand-picked victim) and erases the block.
+        self.collect_user_block(block);
+        Some((self.counters.gc_migrations - migrated_before) as u32)
+    }
+
+    /// Detect Gecko buffer flushes and lift translation-block protections
+    /// (App. C.2.2: "When Logarithmic Gecko's buffer is flushed, we clear
+    /// the list").
+    fn after_validity_op(&mut self) {
+        let Some(g) = self.backend.gecko() else { return };
+        let flushed = g.last_flush_seq();
+        if flushed > self.last_flush_seen {
+            self.last_flush_seen = flushed;
+            for block in self.bm.clear_protection() {
+                let empty = self.bm.valid_pages(block) == 0;
+                let erasable = self.bm.erase_empty_metadata
+                    && !self.bm.is_active(block)
+                    && self.bm.group_of(block).is_some_and(BlockGroup::is_metadata);
+                if empty && erasable {
+                    self.bm.erase_and_free(&mut self.dev, block, IoPurpose::TranslationGc);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Tuning knobs of Logarithmic Gecko (paper §3.2–3.3, Figure 2 terms).
+
+use flash_sim::Geometry;
+
+/// Configuration of a [`crate::gecko::LogGecko`] instance.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GeckoConfig {
+    /// `T`: size ratio between runs at adjacent levels. Controls the
+    /// update-cost vs query-cost trade-off; minimum (and, per §5.1, optimal)
+    /// value is 2.
+    pub size_ratio: u32,
+    /// `S`: entry-partitioning factor (§3.3). Each block's B-bit bitmap is
+    /// split into S sub-entries of B/S bits. Must divide the block size.
+    pub partitions: u32,
+    /// Whether merges use the multi-way policy of Appendix A (merge all
+    /// cascading runs at once) instead of recursive two-way merges.
+    pub multiway_merge: bool,
+    /// Size of a Gecko key in bytes (4 in the paper: a block ID).
+    pub key_bytes: u32,
+    /// Bytes reserved per run page for the in-page header (run ID, page
+    /// index) and pre/postamble bookkeeping (Appendix C.1).
+    pub page_header_bytes: u32,
+}
+
+impl GeckoConfig {
+    /// The paper's recommended tuning for a device geometry: `T = 2`
+    /// (Figure 9) and `S = B / key-bits` (§3.3), with multi-way merging.
+    pub fn paper_default(geo: &Geometry) -> Self {
+        let cfg = GeckoConfig {
+            size_ratio: 2,
+            partitions: Self::recommended_partitions(geo, 4),
+            multiway_merge: true,
+            key_bytes: 4,
+            page_header_bytes: 32,
+        };
+        cfg.validate(geo);
+        cfg
+    }
+
+    /// The §3.3 tuning rule `S = B / key` (in bits), clamped to a divisor of
+    /// B and at least 1.
+    pub fn recommended_partitions(geo: &Geometry, key_bytes: u32) -> u32 {
+        let key_bits = key_bytes * 8;
+        let b = geo.pages_per_block;
+        let mut s = (b / key_bits).max(1);
+        while !b.is_multiple_of(s) {
+            s -= 1;
+        }
+        s
+    }
+
+    /// Panic if this configuration is inconsistent with the geometry.
+    pub fn validate(&self, geo: &Geometry) {
+        assert!(self.size_ratio >= 2, "size ratio T must be at least 2");
+        assert!(self.partitions >= 1, "partitioning factor S must be at least 1");
+        assert_eq!(
+            geo.pages_per_block % self.partitions,
+            0,
+            "S must divide the block size B"
+        );
+        assert!(
+            self.entries_per_page(geo) >= 2,
+            "a Gecko page must hold at least two entries (page too small or B/S too large)"
+        );
+    }
+
+    /// Width in bits of one sub-entry's bitmap: `B / S`.
+    pub fn sub_bits(&self, geo: &Geometry) -> u32 {
+        geo.pages_per_block / self.partitions
+    }
+
+    /// Size of one (sub-)entry in bits: key + bitmap slice + erase flag.
+    /// The sub-key is packed into the key field's spare high bits, as in the
+    /// paper's S=4 example ("a 32 bits key and a 32 bits chunk").
+    pub fn bits_per_entry(&self, geo: &Geometry) -> u32 {
+        self.key_bytes * 8 + self.sub_bits(geo) + 1
+    }
+
+    /// `V`: number of Gecko entries that fit into one flash page (and hence
+    /// into the RAM buffer, whose size is one flash page).
+    pub fn entries_per_page(&self, geo: &Geometry) -> u32 {
+        let usable_bits = (geo.page_bytes - self.page_header_bytes) * 8;
+        usable_bits / self.bits_per_entry(geo)
+    }
+
+    /// Maximum number of entries Logarithmic Gecko can hold: one sub-entry
+    /// per (block, part).
+    pub fn max_entries(&self, geo: &Geometry) -> u64 {
+        geo.blocks as u64 * self.partitions as u64
+    }
+
+    /// `L = ⌈log_T(max-entries / V)⌉`: number of levels (§3.2).
+    pub fn levels(&self, geo: &Geometry) -> u32 {
+        let v = self.entries_per_page(geo) as f64;
+        let max_pages = (self.max_entries(geo) as f64 / v).max(1.0);
+        max_pages.log(self.size_ratio as f64).ceil().max(1.0) as u32
+    }
+
+    /// Level a run of `pages` flash pages belongs to: the unique `i` with
+    /// `T^i ≤ pages ≤ T^(i+1) − 1` (Figure 2).
+    pub fn level_for(&self, pages: u64) -> u32 {
+        debug_assert!(pages >= 1);
+        let mut level = 0u32;
+        let mut bound = self.size_ratio as u64;
+        while pages >= bound {
+            level += 1;
+            bound = bound.saturating_mul(self.size_ratio as u64);
+        }
+        level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_tuning_rules() {
+        let geo = Geometry::paper_2tb();
+        let cfg = GeckoConfig::paper_default(&geo);
+        assert_eq!(cfg.size_ratio, 2);
+        // B=128, key=32 bits → S = 4, sub-entries of 32 bits (§3.3 example).
+        assert_eq!(cfg.partitions, 4);
+        assert_eq!(cfg.sub_bits(&geo), 32);
+        assert_eq!(cfg.bits_per_entry(&geo), 32 + 32 + 1);
+    }
+
+    #[test]
+    fn entries_per_page_shrinks_with_block_size() {
+        let small_b = Geometry::new(1024, 64, 4096, 0.7);
+        let big_b = Geometry::new(1024, 512, 4096, 0.7);
+        let unpartitioned = |geo: &Geometry| GeckoConfig {
+            size_ratio: 2,
+            partitions: 1,
+            multiway_merge: true,
+            key_bytes: 4,
+            page_header_bytes: 32,
+        }
+        .entries_per_page(geo);
+        assert!(unpartitioned(&small_b) > unpartitioned(&big_b));
+    }
+
+    #[test]
+    fn partitioning_decouples_v_from_block_size() {
+        // With S = B/32, bits-per-entry is constant, so V is too (§3.3).
+        let mut vs = Vec::new();
+        for b in [64, 128, 256, 512] {
+            let geo = Geometry::new(1024, b, 4096, 0.7);
+            let cfg = GeckoConfig::paper_default(&geo);
+            vs.push(cfg.entries_per_page(&geo));
+        }
+        assert!(vs.windows(2).all(|w| w[0] == w[1]), "V must be independent of B: {vs:?}");
+    }
+
+    #[test]
+    fn level_placement_boundaries() {
+        let cfg = GeckoConfig {
+            size_ratio: 2,
+            partitions: 1,
+            multiway_merge: true,
+            key_bytes: 4,
+            page_header_bytes: 32,
+        };
+        assert_eq!(cfg.level_for(1), 0);
+        assert_eq!(cfg.level_for(2), 1);
+        assert_eq!(cfg.level_for(3), 1);
+        assert_eq!(cfg.level_for(4), 2);
+        assert_eq!(cfg.level_for(7), 2);
+        assert_eq!(cfg.level_for(8), 3);
+        let t4 = GeckoConfig { size_ratio: 4, ..cfg };
+        assert_eq!(t4.level_for(1), 0);
+        assert_eq!(t4.level_for(3), 0);
+        assert_eq!(t4.level_for(4), 1);
+        assert_eq!(t4.level_for(15), 1);
+        assert_eq!(t4.level_for(16), 2);
+    }
+
+    #[test]
+    fn level_count_is_logarithmic() {
+        let geo = Geometry::paper_2tb();
+        let cfg = GeckoConfig::paper_default(&geo);
+        let l = cfg.levels(&geo);
+        // K·S = 2^24 entries, V ≈ 500 ⇒ ~2^15 pages ⇒ ~15 levels at T=2.
+        assert!((10..=20).contains(&l), "levels = {l}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn validate_rejects_non_divisor_partitions() {
+        let geo = Geometry::tiny(); // B = 16
+        let cfg = GeckoConfig {
+            size_ratio: 2,
+            partitions: 3,
+            multiway_merge: true,
+            key_bytes: 4,
+            page_header_bytes: 32,
+        };
+        cfg.validate(&geo);
+    }
+}

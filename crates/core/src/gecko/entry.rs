@@ -1,0 +1,227 @@
+//! Gecko entries: the key-value pairs stored in Logarithmic Gecko's buffer
+//! and runs (paper §3, Figure 3), including entry-partitioning (§3.3).
+//!
+//! A Gecko entry maps a *key* to a *page-validity bitmap*:
+//!
+//! * without partitioning (S=1) the key is a block ID and the bitmap has one
+//!   bit per page in the block (B bits);
+//! * with partitioning factor S, each block's bitmap is split into S
+//!   sub-entries of B/S bits, keyed by `(block, part)` so that an update only
+//!   buffers the sub-entry covering the invalidated page (Figure 6).
+//!
+//! Every entry additionally carries an *erase flag* (§3): an entry with the
+//! flag set marks the point in time at which the block was erased, and all
+//! entries for the same key in older runs are obsolete.
+
+use flash_sim::BlockId;
+use std::fmt;
+
+/// A fixed-width bitmap of page-validity bits (bit set ⇒ page invalid).
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Bitmap {
+    words: Box<[u64]>,
+    len: u32,
+}
+
+impl Bitmap {
+    /// An all-zero bitmap of `len` bits.
+    pub fn new(len: u32) -> Self {
+        Bitmap {
+            words: vec![0u64; len.div_ceil(64) as usize].into_boxed_slice(),
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> u32 {
+        self.len
+    }
+
+    /// Whether no bit is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Set bit `i`.
+    pub fn set(&mut self, i: u32) {
+        assert!(i < self.len, "bit {i} out of range ({})", self.len);
+        self.words[(i / 64) as usize] |= 1u64 << (i % 64);
+    }
+
+    /// Clear bit `i`.
+    pub fn clear(&mut self, i: u32) {
+        assert!(i < self.len, "bit {i} out of range ({})", self.len);
+        self.words[(i / 64) as usize] &= !(1u64 << (i % 64));
+    }
+
+    /// Read bit `i`.
+    pub fn get(&self, i: u32) -> bool {
+        assert!(i < self.len, "bit {i} out of range ({})", self.len);
+        self.words[(i / 64) as usize] >> (i % 64) & 1 == 1
+    }
+
+    /// Bitwise-OR another bitmap of the same width into this one (the merge
+    /// operator of Algorithm 3 and of GC queries).
+    pub fn or_assign(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap width mismatch");
+        for (w, o) in self.words.iter_mut().zip(other.words.iter()) {
+            *w |= o;
+        }
+    }
+
+    /// Number of set bits (hamming weight; used by BVC recovery, App. C
+    /// step 5).
+    pub fn count_ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// Iterate over the indices of set bits.
+    pub fn iter_ones(&self) -> impl Iterator<Item = u32> + '_ {
+        (0..self.len).filter(move |i| self.get(*i))
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bitmap[")?;
+        for i in 0..self.len {
+            write!(f, "{}", self.get(i) as u8)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Key of a (possibly partitioned) Gecko entry: the block ID plus the
+/// sub-entry index within the block's bitmap (0 when S=1).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct GeckoKey {
+    /// The flash block this entry describes.
+    pub block: BlockId,
+    /// Which S-th slice of the block's bitmap this sub-entry covers.
+    pub part: u16,
+}
+
+impl GeckoKey {
+    /// Key of the first sub-entry of a block.
+    pub fn first_of(block: BlockId) -> Self {
+        GeckoKey { block, part: 0 }
+    }
+
+    /// Key of the last sub-entry of a block under partitioning factor `s`.
+    pub fn last_of(block: BlockId, s: u32) -> Self {
+        GeckoKey { block, part: (s - 1) as u16 }
+    }
+}
+
+/// A Gecko entry (Figure 3): key, page-validity bitmap slice, erase flag.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct GeckoEntry {
+    /// Block ID + sub-entry index.
+    pub key: GeckoKey,
+    /// Validity bits for the B/S pages this sub-entry covers.
+    pub bitmap: Bitmap,
+    /// True if this entry records a block erase: all entries for the same
+    /// key created earlier are obsolete.
+    pub erase_flag: bool,
+}
+
+impl GeckoEntry {
+    /// A blank entry for `key` with `bits`-wide bitmap.
+    pub fn blank(key: GeckoKey, bits: u32) -> Self {
+        GeckoEntry { key, bitmap: Bitmap::new(bits), erase_flag: false }
+    }
+
+    /// An erase marker for `key` (Algorithm 2: blank bitmap, flag set).
+    pub fn erase_marker(key: GeckoKey, bits: u32) -> Self {
+        GeckoEntry { key, bitmap: Bitmap::new(bits), erase_flag: true }
+    }
+
+    /// Resolve a collision between two entries with the same key during a
+    /// merge (Algorithm 3). `newer` comes from the more recently created run.
+    ///
+    /// * If the newer entry has its erase flag set, the older entry was
+    ///   created before the block's last erase and is discarded.
+    /// * Otherwise the bitmaps are OR-merged, and the result inherits the
+    ///   *older* entry's erase flag so that queries reaching it still stop
+    ///   (everything in yet-older runs predates that erase).
+    pub fn merge_collision(newer: &GeckoEntry, older: &GeckoEntry) -> GeckoEntry {
+        if newer.erase_flag {
+            newer.clone()
+        } else {
+            let mut bitmap = newer.bitmap.clone();
+            bitmap.or_assign(&older.bitmap);
+            GeckoEntry { key: newer.key, bitmap, erase_flag: older.erase_flag }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_set_get_clear() {
+        let mut b = Bitmap::new(130);
+        assert!(b.is_empty());
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        assert_eq!(b.count_ones(), 3);
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.iter_ones().collect::<Vec<_>>(), vec![0, 129]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bitmap_bounds_checked() {
+        let b = Bitmap::new(8);
+        let _ = b.get(8);
+    }
+
+    #[test]
+    fn bitmap_or() {
+        let mut a = Bitmap::new(8);
+        let mut b = Bitmap::new(8);
+        a.set(1);
+        b.set(2);
+        a.or_assign(&b);
+        assert!(a.get(1) && a.get(2));
+        assert_eq!(a.count_ones(), 2);
+    }
+
+    #[test]
+    fn keys_order_by_block_then_part() {
+        let a = GeckoKey { block: BlockId(1), part: 3 };
+        let b = GeckoKey { block: BlockId(2), part: 0 };
+        let c = GeckoKey { block: BlockId(2), part: 1 };
+        assert!(a < b && b < c);
+        assert_eq!(GeckoKey::first_of(BlockId(2)), GeckoKey { block: BlockId(2), part: 0 });
+        assert_eq!(GeckoKey::last_of(BlockId(2), 4), GeckoKey { block: BlockId(2), part: 3 });
+    }
+
+    #[test]
+    fn collision_erase_flag_discards_older() {
+        let key = GeckoKey::first_of(BlockId(5));
+        let newer = GeckoEntry::erase_marker(key, 8);
+        let mut older = GeckoEntry::blank(key, 8);
+        older.bitmap.set(3);
+        let merged = GeckoEntry::merge_collision(&newer, &older);
+        assert!(merged.erase_flag);
+        assert!(merged.bitmap.is_empty(), "older bits must be dropped after erase");
+    }
+
+    #[test]
+    fn collision_or_merges_and_keeps_older_erase_flag() {
+        let key = GeckoKey::first_of(BlockId(5));
+        let mut newer = GeckoEntry::blank(key, 8);
+        newer.bitmap.set(1);
+        let mut older = GeckoEntry::erase_marker(key, 8);
+        older.bitmap.set(2);
+        let merged = GeckoEntry::merge_collision(&newer, &older);
+        assert!(merged.bitmap.get(1) && merged.bitmap.get(2));
+        assert!(merged.erase_flag, "older erase flag must survive the merge");
+    }
+}

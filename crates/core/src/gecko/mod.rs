@@ -1,0 +1,899 @@
+//! Logarithmic Gecko: the paper's write-optimized, flash-resident replacement
+//! for the Page Validity Bitmap (§3).
+//!
+//! Updates (page invalidations, block erases) are absorbed by a one-page RAM
+//! buffer; full buffers are flushed to flash as sorted *runs* organized into
+//! levels with exponentially growing sizes, merged LSM-style to keep GC
+//! queries at one flash read per run. Erases are handled with a one-bit erase
+//! flag per entry instead of in-place deletion, so an erase costs one buffer
+//! insertion rather than `O(L)` flash IOs.
+//!
+//! See [`entry`] for the entry format, [`run`] for the on-flash run layout,
+//! [`config`] for tuning (`T`, `S`, multi-way merging), and
+//! [`analysis`] for the closed-form cost model of Table 1.
+
+pub mod analysis;
+pub mod config;
+pub mod entry;
+pub mod run;
+
+pub use analysis::GeckoCostModel;
+pub use config::GeckoConfig;
+pub use entry::{Bitmap, GeckoEntry, GeckoKey};
+pub use run::{GeckoPagePayload, Postamble, Run, RunDirEntry, RunId, RunMeta};
+
+use crate::validity::{MetaSink, ValidityStore};
+use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, MetaKind, PageData, Ppn};
+use std::collections::BTreeMap;
+
+/// The Logarithmic Gecko structure: RAM buffer + run directories in RAM,
+/// runs in flash.
+#[derive(Debug)]
+pub struct LogGecko {
+    cfg: GeckoConfig,
+    geo: Geometry,
+    buffer: BTreeMap<GeckoKey, GeckoEntry>,
+    /// `levels[i]` holds the runs at level i, oldest first (so `.rev()` is
+    /// newest-first query order).
+    levels: Vec<Vec<Run>>,
+    /// Device sequence number at the most recent buffer flush (0 if never
+    /// flushed). Recovery's buffer reconstruction (App. C.2) keys off this.
+    last_flush_seq: u64,
+    /// Lifetime counters for analysis/ablation reporting.
+    pub stats: GeckoStats,
+}
+
+/// Internal operation counters (not IO — the device tracks IO).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GeckoStats {
+    /// Entry insertions into the buffer (updates + erase markers).
+    pub buffer_inserts: u64,
+    /// Buffer flushes (each writes one run to level 0).
+    pub flushes: u64,
+    /// Merge operations performed.
+    pub merges: u64,
+    /// GC queries served.
+    pub queries: u64,
+    /// Entries dropped as obsolete during merges.
+    pub entries_dropped: u64,
+}
+
+impl LogGecko {
+    /// Create an empty Logarithmic Gecko for a device geometry.
+    pub fn new(geo: Geometry, cfg: GeckoConfig) -> Self {
+        cfg.validate(&geo);
+        let levels = (0..=cfg.levels(&geo) + 2).map(|_| Vec::new()).collect();
+        LogGecko {
+            cfg,
+            geo,
+            buffer: BTreeMap::new(),
+            levels,
+            last_flush_seq: 0,
+            stats: GeckoStats::default(),
+        }
+    }
+
+    /// Rebuild a Logarithmic Gecko from recovered runs (Appendix C.1); the
+    /// buffer starts empty and is refilled by the caller (Appendix C.2).
+    pub fn from_recovered(geo: Geometry, cfg: GeckoConfig, runs: Vec<Run>) -> Self {
+        let mut g = LogGecko::new(geo, cfg);
+        for run in runs {
+            g.last_flush_seq = g.last_flush_seq.max(run.meta.created_seq);
+            let level = run.meta.level as usize;
+            while g.levels.len() <= level {
+                g.levels.push(Vec::new());
+            }
+            g.levels[level].push(run);
+        }
+        // Within each level, keep oldest-first order by creation time.
+        for level in &mut g.levels {
+            level.sort_by_key(|r| r.meta.created_seq);
+        }
+        g
+    }
+
+    /// Configuration in effect.
+    pub fn config(&self) -> GeckoConfig {
+        self.cfg
+    }
+
+    /// Number of entries currently buffered in RAM.
+    pub fn buffer_len(&self) -> usize {
+        self.buffer.len()
+    }
+
+    /// `V`: buffer capacity in entries.
+    pub fn buffer_capacity(&self) -> u32 {
+        self.cfg.entries_per_page(&self.geo)
+    }
+
+    /// Device sequence number of the last buffer flush.
+    pub fn last_flush_seq(&self) -> u64 {
+        self.last_flush_seq
+    }
+
+    /// All live runs, newest data first (level ascending, newest-first
+    /// within each level) — the traversal order of GC queries.
+    pub fn runs_newest_first(&self) -> impl Iterator<Item = &Run> {
+        self.levels.iter().flat_map(|level| level.iter().rev())
+    }
+
+    /// Total flash pages currently occupied by live runs.
+    pub fn total_run_pages(&self) -> u64 {
+        self.runs_newest_first().map(Run::num_pages).sum()
+    }
+
+    /// Total live entries across all runs.
+    pub fn total_run_entries(&self) -> u64 {
+        self.runs_newest_first().map(|r| r.entry_count).sum()
+    }
+
+    /// Number of levels that currently hold at least one run.
+    pub fn occupied_levels(&self) -> usize {
+        self.levels.iter().filter(|l| !l.is_empty()).count()
+    }
+
+    /// Integrated-RAM footprint per Appendix B: run directories (two 4-byte
+    /// words per run page) plus the input/output merge buffers.
+    pub fn ram_bytes(&self) -> u64 {
+        let dir_bytes = 8 * self.total_run_pages();
+        let merge_buffers = if self.cfg.multiway_merge {
+            self.geo.page_bytes as u64 * (2 + self.cfg.levels(&self.geo) as u64)
+        } else {
+            self.geo.page_bytes as u64 * 3
+        };
+        dir_bytes + self.geo.page_bytes as u64 + merge_buffers
+    }
+
+    fn key_of(&self, ppn: Ppn) -> (GeckoKey, u32) {
+        let block = self.geo.block_of(ppn);
+        let off = self.geo.offset_of(ppn).0;
+        let sub = self.cfg.sub_bits(&self.geo);
+        (GeckoKey { block, part: (off / sub) as u16 }, off % sub)
+    }
+
+    /// Report an invalidated physical page (Algorithm 1).
+    pub fn mark_invalid(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, ppn: Ppn) {
+        let (key, bit) = self.key_of(ppn);
+        let sub = self.cfg.sub_bits(&self.geo);
+        let entry = self
+            .buffer
+            .entry(key)
+            .or_insert_with(|| GeckoEntry::blank(key, sub));
+        entry.bitmap.set(bit);
+        self.stats.buffer_inserts += 1;
+        self.maybe_flush(dev, sink);
+    }
+
+    /// Report an erased block (Algorithm 2). With entry-partitioning, one
+    /// erase marker is inserted per sub-entry so that queries for every part
+    /// of the block terminate correctly.
+    ///
+    /// Divergence from the paper's Algorithm 2 pseudo-code: if the buffer
+    /// already holds an entry for the key, we *replace* it with the erase
+    /// marker (its pre-erase bits are obsolete) instead of leaving it
+    /// untouched — leaving stale bits would mark post-erase pages invalid.
+    pub fn note_erase(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, block: BlockId) {
+        let sub = self.cfg.sub_bits(&self.geo);
+        for part in 0..self.cfg.partitions as u16 {
+            let key = GeckoKey { block, part };
+            self.buffer.insert(key, GeckoEntry::erase_marker(key, sub));
+            self.stats.buffer_inserts += 1;
+        }
+        self.maybe_flush(dev, sink);
+    }
+
+    /// GC query (Figure 5): assemble the full B-bit invalid bitmap for
+    /// `block` by consulting the buffer and then every run from newest to
+    /// oldest, stopping per sub-key at erase flags. Costs one flash read per
+    /// run that covers a still-open sub-key.
+    pub fn gc_query(&mut self, dev: &mut FlashDevice, block: BlockId) -> Bitmap {
+        self.gc_query_with_purpose(dev, block, IoPurpose::ValidityQuery)
+    }
+
+    /// GC query with an explicit IO purpose (recovery re-uses the machinery).
+    pub fn gc_query_with_purpose(
+        &mut self,
+        dev: &mut FlashDevice,
+        block: BlockId,
+        purpose: IoPurpose,
+    ) -> Bitmap {
+        self.stats.queries += 1;
+        let s = self.cfg.partitions as usize;
+        let sub = self.cfg.sub_bits(&self.geo);
+        let mut result = Bitmap::new(self.geo.pages_per_block);
+        let mut open = vec![true; s];
+        let mut open_count = s;
+
+        let absorb = |entry: &GeckoEntry, open: &mut Vec<bool>, open_count: &mut usize, result: &mut Bitmap| {
+            let part = entry.key.part as usize;
+            if !open[part] {
+                return;
+            }
+            for bit in entry.bitmap.iter_ones() {
+                result.set(part as u32 * sub + bit);
+            }
+            if entry.erase_flag {
+                open[part] = false;
+                *open_count -= 1;
+            }
+        };
+
+        // 1. The RAM buffer holds the newest information.
+        for part in 0..s as u16 {
+            if let Some(entry) = self.buffer.get(&GeckoKey { block, part }) {
+                absorb(entry, &mut open, &mut open_count, &mut result);
+            }
+        }
+
+        // 2. Runs, newest data first; read only pages overlapping open keys.
+        for level in &self.levels {
+            for run in level.iter().rev() {
+                if open_count == 0 {
+                    return result;
+                }
+                let lo_part = open.iter().position(|o| *o);
+                let hi_part = open.iter().rposition(|o| *o);
+                let (Some(lo), Some(hi)) = (lo_part, hi_part) else {
+                    return result;
+                };
+                let lo = GeckoKey { block, part: lo as u16 };
+                let hi = GeckoKey { block, part: hi as u16 };
+                let pages: Vec<Ppn> = run.pages_overlapping(lo, hi).map(|p| p.ppn).collect();
+                for ppn in pages {
+                    let data = dev
+                        .read_page(ppn, purpose)
+                        .expect("run directory points at a written page");
+                    let payload = data
+                        .blob::<GeckoPagePayload>()
+                        .expect("gecko block page holds a gecko payload");
+                    for entry in &payload.entries {
+                        if entry.key.block == block {
+                            absorb(entry, &mut open, &mut open_count, &mut result);
+                        }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    fn maybe_flush(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink) {
+        if self.buffer.len() >= self.buffer_capacity() as usize {
+            self.flush(dev, sink);
+        }
+    }
+
+    /// Flush the buffer and trigger merges. Public so that shutdown paths
+    /// can force persistence.
+    ///
+    /// Erase markers can overshoot the buffer past `V` entries (Algorithm 2
+    /// inserts S sub-entries at once), so the flush emits *single-page* runs
+    /// — each inserted at level 0, merging after each — rather than one
+    /// multi-page run. Chunks cover disjoint key ranges, so their relative
+    /// order carries no information, and the level-by-data-age invariant
+    /// that queries rely on is preserved.
+    pub fn flush(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink) {
+        if self.buffer.is_empty() {
+            return;
+        }
+        self.stats.flushes += 1;
+        let v = self.buffer_capacity() as usize;
+        while !self.buffer.is_empty() {
+            let chunk_keys: Vec<GeckoKey> = self.buffer.keys().take(v).copied().collect();
+            let entries: Vec<GeckoEntry> = chunk_keys
+                .iter()
+                .map(|k| self.buffer.remove(k).expect("key just listed"))
+                .collect();
+            let run = self.write_run(dev, sink, entries, Vec::new(), None, 0, IoPurpose::ValidityUpdate);
+            debug_assert_eq!(run.meta.level, 0, "a single-page flush run belongs at level 0");
+            self.last_flush_seq = run.meta.created_seq;
+            self.levels[0].push(run);
+            self.maybe_merge(dev, sink);
+        }
+    }
+
+    /// Write a sorted entry sequence as a run, returning its directory.
+    /// `min_level` clamps placement so merge output never lands above a
+    /// participant's level (which would break the data-age ordering queries
+    /// rely on when collisions shrink the output).
+    #[allow(clippy::too_many_arguments)] // one call site per flavor; a params struct would obscure the merge path
+    fn write_run(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+        entries: Vec<GeckoEntry>,
+        merged_from: Vec<RunId>,
+        supersedes_since: Option<u64>,
+        min_level: u32,
+        purpose: IoPurpose,
+    ) -> Run {
+        debug_assert!(!entries.is_empty());
+        debug_assert!(entries.windows(2).all(|w| w[0].key < w[1].key), "run entries must be sorted");
+        let v = self.buffer_capacity() as usize;
+        // The run id doubles as its creation timestamp: the device sequence
+        // number is persistent and strictly monotonic, so ids stay unique
+        // across power failures — obsolete runs lingering on flash can never
+        // collide with runs created after a recovery.
+        let id = RunId(dev.now_seq());
+        let n_pages = entries.len().div_ceil(v);
+        let level = self.cfg.level_for(n_pages as u64).max(min_level);
+        let created_seq = dev.now_seq();
+        let meta = RunMeta {
+            id,
+            level,
+            created_seq,
+            merged_from,
+            supersedes_since: supersedes_since.unwrap_or(created_seq),
+        };
+
+        let chunks: Vec<Vec<GeckoEntry>> = entries
+            .chunks(v)
+            .map(|c| c.to_vec())
+            .collect();
+        let mut dir: Vec<RunDirEntry> = Vec::with_capacity(n_pages);
+        let mut ranges: Vec<(GeckoKey, GeckoKey)> = chunks
+            .iter()
+            .map(|c| (c.first().unwrap().key, c.last().unwrap().key))
+            .collect();
+        let mut entry_count = 0u64;
+        let last_index = chunks.len() - 1;
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            entry_count += chunk.len() as u64;
+            let postamble = (i == last_index).then(|| Postamble {
+                total_pages: n_pages as u32,
+                ranges: std::mem::take(&mut ranges),
+                ppns: dir.iter().map(|d| d.ppn).collect(),
+            });
+            let (first, last) = (chunk.first().unwrap().key, chunk.last().unwrap().key);
+            let payload = GeckoPagePayload {
+                run_id: id,
+                page_index: i as u32,
+                entries: chunk,
+                preamble: (i == 0).then(|| meta.clone()),
+                postamble,
+            };
+            let ppn = sink.append_meta(dev, MetaKind::GeckoRun, id.0, PageData::blob_of(payload), purpose);
+            dir.push(RunDirEntry { ppn, first, last });
+        }
+        Run { meta, pages: dir, entry_count }
+    }
+
+    /// Merge until no level holds two runs (§3.1, Appendix A).
+    fn maybe_merge(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink) {
+        loop {
+            let Some(start) = self.levels.iter().position(|l| l.len() >= 2) else {
+                return;
+            };
+            // Collect participants: both runs at `start`, plus — under the
+            // multi-way policy — runs at higher levels that the output would
+            // cascade into anyway.
+            let mut participants: Vec<Run> = self.levels[start].drain(..).collect();
+            let mut combined_pages: u64 = participants.iter().map(Run::num_pages).sum();
+            if self.cfg.multiway_merge {
+                let mut level = start + 1;
+                while level < self.levels.len() {
+                    if self.levels[level].is_empty()
+                        || combined_pages < (self.cfg.size_ratio as u64).pow(level as u32)
+                    {
+                        break;
+                    }
+                    let runs: Vec<Run> = self.levels[level].drain(..).collect();
+                    combined_pages += runs.iter().map(Run::num_pages).sum::<u64>();
+                    participants.extend(runs);
+                    level += 1;
+                }
+            }
+            self.merge_runs(dev, sink, participants);
+        }
+    }
+
+    /// Merge a set of runs into one, discarding obsolete entries.
+    fn merge_runs(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, mut participants: Vec<Run>) {
+        self.stats.merges += 1;
+        // Newest data first, so pairwise collision resolution can fold
+        // older entries into newer ones (Algorithm 3). Data age is ordered
+        // by level first (shallower = newer), then by creation time within
+        // a level — creation time alone can invert across levels.
+        participants.sort_by(|a, b| {
+            a.meta
+                .level
+                .cmp(&b.meta.level)
+                .then(b.meta.created_seq.cmp(&a.meta.created_seq))
+        });
+        let deepest = participants.iter().map(|r| r.meta.level).max().unwrap_or(0);
+        // Is the merge output going to be the new largest run? If so, erase
+        // flags carry no further information and fully-empty entries can be
+        // dropped ("removes obsolete entries during merge operations").
+        let deepest_occupied = self
+            .levels
+            .iter()
+            .rposition(|l| !l.is_empty())
+            .map(|l| l as u32);
+        let output_is_largest = deepest_occupied.is_none_or(|d| deepest >= d);
+
+        // Read all participant pages (charged as merge IO), collect entry
+        // streams in data-age order.
+        let mut streams: Vec<Vec<GeckoEntry>> = Vec::with_capacity(participants.len());
+        for run in &participants {
+            let mut entries = Vec::with_capacity(run.entry_count as usize);
+            for page in &run.pages {
+                let data = dev
+                    .read_page(page.ppn, IoPurpose::ValidityMerge)
+                    .expect("run page readable during merge");
+                let payload = data
+                    .blob::<GeckoPagePayload>()
+                    .expect("gecko page payload");
+                entries.extend(payload.entries.iter().cloned());
+            }
+            streams.push(entries);
+        }
+
+        // K-way sorted merge with collision folding. Streams are ordered
+        // newest-first, so on key ties the lowest stream index is newest.
+        let mut cursors = vec![0usize; streams.len()];
+        let mut merged: Vec<GeckoEntry> = Vec::new();
+        loop {
+            let mut min_key: Option<GeckoKey> = None;
+            for (s, stream) in streams.iter().enumerate() {
+                if let Some(e) = stream.get(cursors[s]) {
+                    if min_key.is_none_or(|m| e.key < m) {
+                        min_key = Some(e.key);
+                    }
+                }
+            }
+            let Some(key) = min_key else { break };
+            let mut folded: Option<GeckoEntry> = None;
+            for (s, stream) in streams.iter().enumerate() {
+                if let Some(e) = stream.get(cursors[s]) {
+                    if e.key == key {
+                        cursors[s] += 1;
+                        folded = Some(match folded {
+                            None => e.clone(),
+                            Some(newer) => {
+                                self.stats.entries_dropped += 1;
+                                GeckoEntry::merge_collision(&newer, e)
+                            }
+                        });
+                    }
+                }
+            }
+            let entry = folded.expect("at least one stream supplied the key");
+            let keep = if entry.erase_flag {
+                // Erase markers with no newer bits are pure tombstones; they
+                // can be dropped once nothing older can exist below them.
+                !(output_is_largest && entry.bitmap.is_empty())
+            } else {
+                !entry.bitmap.is_empty()
+            };
+            if keep {
+                merged.push(entry);
+            } else {
+                self.stats.entries_dropped += 1;
+            }
+        }
+
+        // Retire the participants' pages, then write the output.
+        for run in &participants {
+            for page in &run.pages {
+                sink.meta_page_obsolete(dev, page.ppn);
+            }
+        }
+        if merged.is_empty() {
+            return;
+        }
+        let merged_from = participants.iter().map(|r| r.meta.id).collect();
+        let supersedes_since = participants
+            .iter()
+            .map(|r| r.meta.supersedes_since)
+            .min()
+            .expect("merge has participants");
+        let run = self.write_run(
+            dev,
+            sink,
+            merged,
+            merged_from,
+            Some(supersedes_since),
+            deepest,
+            IoPurpose::ValidityMerge,
+        );
+        let level = run.meta.level as usize;
+        while self.levels.len() <= level {
+            self.levels.push(Vec::new());
+        }
+        self.levels[level].push(run);
+    }
+
+    /// Reconstruct the invalid-page bitmap of **every** block by scanning
+    /// all runs once plus the buffer — BVC recovery, Appendix C step 5.
+    /// Charges one page read per live run page to `purpose`.
+    pub fn scan_all_bitmaps(
+        &self,
+        dev: &mut FlashDevice,
+        purpose: IoPurpose,
+    ) -> std::collections::HashMap<BlockId, Bitmap> {
+        use std::collections::{HashMap, HashSet};
+        let sub = self.cfg.sub_bits(&self.geo);
+        let b = self.geo.pages_per_block;
+        let mut closed: HashSet<GeckoKey> = HashSet::new();
+        let mut result: HashMap<BlockId, Bitmap> = HashMap::new();
+        let absorb = |entry: &GeckoEntry, closed: &mut HashSet<GeckoKey>, result: &mut HashMap<BlockId, Bitmap>| {
+            if closed.contains(&entry.key) {
+                return;
+            }
+            let bm = result
+                .entry(entry.key.block)
+                .or_insert_with(|| Bitmap::new(b));
+            for bit in entry.bitmap.iter_ones() {
+                bm.set(entry.key.part as u32 * sub + bit);
+            }
+            if entry.erase_flag {
+                closed.insert(entry.key);
+            }
+        };
+        for entry in self.buffer.values() {
+            absorb(entry, &mut closed, &mut result);
+        }
+        for level in &self.levels {
+            for run in level.iter().rev() {
+                for page in &run.pages {
+                    let data = dev.read_page(page.ppn, purpose).expect("live run page readable");
+                    let payload = data.blob::<GeckoPagePayload>().expect("gecko page payload");
+                    for entry in &payload.entries {
+                        absorb(entry, &mut closed, &mut result);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Seed the buffer with a recovered erase marker (Appendix C.2.1).
+    /// Does not flush — recovery completes before normal flushing resumes.
+    pub fn recover_erase_marker(&mut self, block: BlockId) {
+        let sub = self.cfg.sub_bits(&self.geo);
+        for part in 0..self.cfg.partitions as u16 {
+            let key = GeckoKey { block, part };
+            self.buffer.insert(key, GeckoEntry::erase_marker(key, sub));
+        }
+    }
+
+    /// Seed the buffer with a recovered invalidation (Appendix C.2.2).
+    pub fn recover_invalidation(&mut self, ppn: Ppn) {
+        let (key, bit) = self.key_of(ppn);
+        let sub = self.cfg.sub_bits(&self.geo);
+        let entry = self
+            .buffer
+            .entry(key)
+            .or_insert_with(|| GeckoEntry::blank(key, sub));
+        entry.bitmap.set(bit);
+    }
+}
+
+/// A [`ValidityStore`] façade over [`LogGecko`], the store GeckoFTL uses.
+impl ValidityStore for LogGecko {
+    fn mark_invalid(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, ppn: Ppn) {
+        LogGecko::mark_invalid(self, dev, sink, ppn);
+    }
+
+    fn mark_invalid_batch(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, ppns: &[Ppn]) {
+        // Insert the whole batch before checking the flush threshold so the
+        // batch never straddles a flush generation (see the trait docs).
+        let sub = self.cfg.sub_bits(&self.geo);
+        for &ppn in ppns {
+            let (key, bit) = self.key_of(ppn);
+            let entry = self
+                .buffer
+                .entry(key)
+                .or_insert_with(|| GeckoEntry::blank(key, sub));
+            entry.bitmap.set(bit);
+            self.stats.buffer_inserts += 1;
+        }
+        self.maybe_flush(dev, sink);
+    }
+
+    fn note_erase(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, block: BlockId) {
+        LogGecko::note_erase(self, dev, sink, block);
+    }
+
+    fn gc_query(&mut self, dev: &mut FlashDevice, _sink: &mut dyn MetaSink, block: BlockId) -> Bitmap {
+        LogGecko::gc_query(self, dev, block)
+    }
+
+    fn ram_bytes(&self) -> u64 {
+        LogGecko::ram_bytes(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "logarithmic-gecko"
+    }
+
+    fn flush(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink) {
+        LogGecko::flush(self, dev, sink);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validity::FlatMetaSink;
+    use std::collections::HashMap;
+
+    /// Reference model: an exact RAM-resident validity map.
+    #[derive(Default)]
+    struct Model {
+        invalid: HashMap<BlockId, Vec<bool>>,
+    }
+
+    impl Model {
+        fn mark_invalid(&mut self, geo: &Geometry, ppn: Ppn) {
+            let b = geo.block_of(ppn);
+            let off = geo.offset_of(ppn).0 as usize;
+            self.invalid
+                .entry(b)
+                .or_insert_with(|| vec![false; geo.pages_per_block as usize])[off] = true;
+        }
+
+        fn note_erase(&mut self, geo: &Geometry, block: BlockId) {
+            self.invalid
+                .insert(block, vec![false; geo.pages_per_block as usize]);
+        }
+
+        fn query(&self, geo: &Geometry, block: BlockId) -> Vec<bool> {
+            self.invalid
+                .get(&block)
+                .cloned()
+                .unwrap_or_else(|| vec![false; geo.pages_per_block as usize])
+        }
+    }
+
+    fn harness(cfg: GeckoConfig) -> (FlashDevice, FlatMetaSink, LogGecko, Geometry) {
+        let geo = Geometry::tiny();
+        let dev = FlashDevice::new(geo);
+        // Plenty of metadata blocks for runs.
+        let sink = FlatMetaSink::new((32..64).map(BlockId).collect());
+        let gecko = LogGecko::new(geo, cfg);
+        (dev, sink, gecko, geo)
+    }
+
+    fn paper_cfg() -> GeckoConfig {
+        GeckoConfig::paper_default(&Geometry::tiny())
+    }
+
+    /// Tiny pages so flushes/merges happen quickly in tests.
+    fn small_page_cfg(t: u32, s: u32) -> GeckoConfig {
+        GeckoConfig {
+            size_ratio: t,
+            partitions: s,
+            multiway_merge: true,
+            key_bytes: 4,
+            // Leave room for ~6 entries per page: shrink the usable space
+            // via a huge header so flushes/merges happen at test scale.
+            page_header_bytes: 4096 - 40,
+        }
+    }
+
+    fn check_equiv(
+        gecko: &mut LogGecko,
+        model: &Model,
+        dev: &mut FlashDevice,
+        geo: &Geometry,
+        block: BlockId,
+    ) {
+        let got = gecko.gc_query(dev, block);
+        let want = model.query(geo, block);
+        for (i, w) in want.iter().enumerate() {
+            assert_eq!(
+                got.get(i as u32),
+                *w,
+                "bit {i} of {block:?} diverges from the reference model"
+            );
+        }
+    }
+
+    #[test]
+    fn buffer_absorbs_repeated_updates_without_io() {
+        // With the paper tuning on a tiny device, all 32 block keys fit in
+        // the buffer: no flash IO at all, ever (pure RAM coalescing).
+        let (mut dev, mut sink, mut gecko, geo) = harness(paper_cfg());
+        for p in 0..geo.total_pages() as u32 / 2 {
+            gecko.mark_invalid(&mut dev, &mut sink, Ppn(p));
+        }
+        assert_eq!(gecko.stats.flushes, 0);
+        assert_eq!(dev.stats().counts(IoPurpose::ValidityUpdate).page_writes, 0);
+    }
+
+    #[test]
+    fn updates_and_queries_match_reference_model() {
+        let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
+        let mut model = Model::default();
+        // Invalidate a deterministic pseudo-random page sequence.
+        let mut x: u64 = 42;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let page = (x >> 33) % (32 * geo.pages_per_block as u64); // user area only
+            let ppn = Ppn(page as u32);
+            gecko.mark_invalid(&mut dev, &mut sink, ppn);
+            model.mark_invalid(&geo, ppn);
+        }
+        for b in 0..32 {
+            check_equiv(&mut gecko, &model, &mut dev, &geo, BlockId(b));
+        }
+        assert!(gecko.stats.flushes > 0, "workload must have flushed");
+    }
+
+    #[test]
+    fn erase_markers_supersede_older_bits() {
+        for multiway in [false, true] {
+            let mut cfg = small_page_cfg(2, 1);
+            cfg.multiway_merge = multiway;
+            let (mut dev, mut sink, mut gecko, geo) = harness(cfg);
+            let mut model = Model::default();
+            let mut x: u64 = 7;
+            for i in 0..3000u64 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let choice = x >> 60;
+                if choice < 3 && i % 7 == 3 {
+                    let b = BlockId(((x >> 20) % 32) as u32);
+                    gecko.note_erase(&mut dev, &mut sink, b);
+                    model.note_erase(&geo, b);
+                } else {
+                    let page = (x >> 33) % (32 * geo.pages_per_block as u64);
+                    let ppn = Ppn(page as u32);
+                    gecko.mark_invalid(&mut dev, &mut sink, ppn);
+                    model.mark_invalid(&geo, ppn);
+                }
+            }
+            for b in 0..32 {
+                check_equiv(&mut gecko, &model, &mut dev, &geo, BlockId(b));
+            }
+            assert!(gecko.stats.merges > 0, "workload must have merged");
+        }
+    }
+
+    #[test]
+    fn partitioned_entries_match_reference_model() {
+        for s in [1u32, 2, 4, 8] {
+            let cfg = GeckoConfig {
+                partitions: s,
+                ..small_page_cfg(2, s)
+            };
+            let (mut dev, mut sink, mut gecko, geo) = harness(cfg);
+            let mut model = Model::default();
+            let mut x: u64 = 1234 + s as u64;
+            for _ in 0..1500 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if x >> 62 == 0 {
+                    let b = BlockId(((x >> 20) % 32) as u32);
+                    gecko.note_erase(&mut dev, &mut sink, b);
+                    model.note_erase(&geo, b);
+                } else {
+                    let page = (x >> 33) % (32 * geo.pages_per_block as u64);
+                    gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
+                    model.mark_invalid(&geo, Ppn(page as u32));
+                }
+            }
+            for b in 0..32 {
+                check_equiv(&mut gecko, &model, &mut dev, &geo, BlockId(b));
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_one_settled_run_per_level() {
+        let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
+        let mut x: u64 = 99;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let page = (x >> 33) % (32 * geo.pages_per_block as u64);
+            gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
+            // After each operation (merges run synchronously), each level
+            // holds at most one run.
+            for (lvl, runs) in gecko.levels.iter().enumerate() {
+                assert!(runs.len() <= 1, "level {lvl} holds {} runs", runs.len());
+            }
+        }
+    }
+
+    #[test]
+    fn level_placement_follows_size_rule() {
+        let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
+        let mut x: u64 = 5;
+        for _ in 0..4000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let page = (x >> 33) % (32 * geo.pages_per_block as u64);
+            gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
+        }
+        for run in gecko.runs_newest_first() {
+            let by_size = gecko.cfg.level_for(run.num_pages());
+            assert!(
+                run.meta.level >= by_size,
+                "run {:?} at level {} but sized for {}",
+                run.meta.id,
+                run.meta.level,
+                by_size
+            );
+        }
+    }
+
+    #[test]
+    fn space_amplification_is_bounded() {
+        let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
+        let mut x: u64 = 17;
+        for _ in 0..20_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let page = (x >> 33) % (32 * geo.pages_per_block as u64);
+            gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
+        }
+        // At most 32 blocks × S sub-entries of live information; total run
+        // entries may double that (§3.2: space-amplification ≤ ≈2), plus the
+        // transient level-0/1 runs.
+        let max_live = 32 * gecko.cfg.partitions as u64;
+        assert!(
+            gecko.total_run_entries() <= 3 * max_live,
+            "entries = {}, live keys ≤ {max_live}",
+            gecko.total_run_entries()
+        );
+    }
+
+    #[test]
+    fn query_reads_at_most_one_page_per_run() {
+        let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
+        let mut x: u64 = 3;
+        for _ in 0..3000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let page = (x >> 33) % (32 * geo.pages_per_block as u64);
+            gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
+        }
+        let runs = gecko.runs_newest_first().count() as u64;
+        let before = dev.stats().counts(IoPurpose::ValidityQuery).page_reads;
+        gecko.gc_query(&mut dev, BlockId(9));
+        let reads = dev.stats().counts(IoPurpose::ValidityQuery).page_reads - before;
+        assert!(reads <= runs, "query read {reads} pages across {runs} runs");
+    }
+
+    #[test]
+    fn recovered_runs_answer_queries_identically() {
+        let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
+        let mut model = Model::default();
+        let mut x: u64 = 77;
+        for _ in 0..2500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let page = (x >> 33) % (32 * geo.pages_per_block as u64);
+            gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
+            model.mark_invalid(&geo, Ppn(page as u32));
+        }
+        gecko.flush(&mut dev, &mut sink); // persist the tail
+        let runs: Vec<Run> = gecko.runs_newest_first().cloned().collect();
+        let cfg = gecko.config();
+        drop(gecko);
+        let mut recovered = LogGecko::from_recovered(geo, cfg, runs);
+        for b in 0..32 {
+            check_equiv(&mut recovered, &model, &mut dev, &geo, BlockId(b));
+        }
+    }
+
+    #[test]
+    fn scan_all_bitmaps_agrees_with_queries() {
+        let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
+        let mut x: u64 = 21;
+        for _ in 0..2000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if x >> 62 == 0 {
+                gecko.note_erase(&mut dev, &mut sink, BlockId(((x >> 20) % 32) as u32));
+            } else {
+                let page = (x >> 33) % (32 * geo.pages_per_block as u64);
+                gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
+            }
+        }
+        let maps = gecko.scan_all_bitmaps(&mut dev, IoPurpose::Recovery);
+        for b in 0..32 {
+            let q = gecko.gc_query(&mut dev, BlockId(b));
+            let scanned = maps.get(&BlockId(b));
+            for i in 0..geo.pages_per_block {
+                let s = scanned.is_some_and(|m| m.get(i));
+                assert_eq!(q.get(i), s, "scan vs query mismatch at {b}:{i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Flash-resident runs and their RAM-resident run directories (paper §3).
+//!
+//! A *run* is a sorted, immutable sequence of Gecko entries spanning one or
+//! more flash pages. The RAM-resident *run directory* records, for every page
+//! of the run, its physical location and the key range it covers, so a GC
+//! query reads at most one page per run (Figure 5).
+//!
+//! For recovery (Appendix C.1), each run is self-describing in flash:
+//!
+//! * the **first** page carries a preamble (run ID, level, creation
+//!   timestamp, and the IDs of the runs it was merged from);
+//! * **every** page carries a header with the run ID and page index;
+//! * the **last** page carries a postamble: a copy of the run directory.
+//!
+//! These are modelled as in-page metadata (a few dozen bytes accounted via
+//! [`crate::gecko::GeckoConfig::page_header_bytes`]), so a buffer flush still
+//! costs exactly one flash write.
+
+use crate::gecko::entry::{GeckoEntry, GeckoKey};
+use flash_sim::Ppn;
+
+/// Unique identifier of a run, assigned at creation and never reused.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct RunId(pub u64);
+
+/// Run-level metadata, persisted in the preamble of the run's first page.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunMeta {
+    /// Unique run identifier.
+    pub id: RunId,
+    /// Level the run was placed at when created.
+    pub level: u32,
+    /// Device sequence number at creation; recovery uses it to order runs
+    /// and to find the last buffer-flush time (Appendix C.2).
+    pub created_seq: u64,
+    /// IDs of the runs this run replaced (empty for buffer flushes).
+    pub merged_from: Vec<RunId>,
+    /// Creation seq of this run's oldest *transitive* merge input (its own
+    /// `created_seq` for buffer flushes). Every run created in
+    /// `[supersedes_since, created_seq)` has been folded into this run, so
+    /// recovery can identify merged-away runs even when intermediate
+    /// superseders have already been erased from flash (a `merged_from`
+    /// chain alone breaks in that case).
+    pub supersedes_since: u64,
+}
+
+/// One run-directory entry: a page of the run and the key range it holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunDirEntry {
+    /// Physical location of the page.
+    pub ppn: Ppn,
+    /// Smallest key stored on the page.
+    pub first: GeckoKey,
+    /// Largest key stored on the page.
+    pub last: GeckoKey,
+}
+
+/// A live run: metadata plus its RAM-resident directory.
+#[derive(Clone, Debug)]
+pub struct Run {
+    /// Preamble metadata.
+    pub meta: RunMeta,
+    /// The run directory: one entry per flash page, in key order.
+    pub pages: Vec<RunDirEntry>,
+    /// Total number of Gecko entries stored in the run.
+    pub entry_count: u64,
+}
+
+impl Run {
+    /// Number of flash pages the run occupies.
+    pub fn num_pages(&self) -> u64 {
+        self.pages.len() as u64
+    }
+
+    /// Directory entries for pages whose key range intersects `[lo, hi]`.
+    pub fn pages_overlapping(
+        &self,
+        lo: GeckoKey,
+        hi: GeckoKey,
+    ) -> impl Iterator<Item = &RunDirEntry> {
+        self.pages.iter().filter(move |p| p.first <= hi && p.last >= lo)
+    }
+}
+
+/// The payload stored in each flash page of a run (behind
+/// [`flash_sim::PageData::Blob`]).
+#[derive(Clone, Debug)]
+pub struct GeckoPagePayload {
+    /// Run this page belongs to (in-page header).
+    pub run_id: RunId,
+    /// Position of this page within the run (in-page header).
+    pub page_index: u32,
+    /// The sorted Gecko entries stored on this page.
+    pub entries: Vec<GeckoEntry>,
+    /// Present on the first page only: the run preamble.
+    pub preamble: Option<RunMeta>,
+    /// Present on the last page only: the run postamble.
+    pub postamble: Option<Postamble>,
+}
+
+/// Postamble: a persistent copy of the run directory (Appendix C.1).
+///
+/// The last page cannot know its own physical address before being written,
+/// so its slot in `ppns` is a placeholder that recovery fills in with the
+/// address it found the postamble at.
+#[derive(Clone, Debug)]
+pub struct Postamble {
+    /// Total pages in the run; recovery discards runs found with fewer
+    /// pages (partially-written merge output).
+    pub total_pages: u32,
+    /// Key range of every page, in page order.
+    pub ranges: Vec<(GeckoKey, GeckoKey)>,
+    /// Physical addresses of pages `0 .. total_pages-1` (the final slot is
+    /// meaningless; see type-level docs).
+    pub ppns: Vec<Ppn>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::BlockId;
+
+    fn key(b: u32, p: u16) -> GeckoKey {
+        GeckoKey { block: BlockId(b), part: p }
+    }
+
+    fn run_with_pages(ranges: &[(GeckoKey, GeckoKey)]) -> Run {
+        Run {
+            meta: RunMeta { id: RunId(1), level: 0, created_seq: 1, merged_from: vec![], supersedes_since: 1 },
+            pages: ranges
+                .iter()
+                .enumerate()
+                .map(|(i, (f, l))| RunDirEntry { ppn: Ppn(i as u32), first: *f, last: *l })
+                .collect(),
+            entry_count: 0,
+        }
+    }
+
+    #[test]
+    fn overlap_selects_only_covering_pages() {
+        let run = run_with_pages(&[
+            (key(0, 0), key(9, 3)),
+            (key(10, 0), key(19, 3)),
+            (key(20, 0), key(29, 3)),
+        ]);
+        let hits: Vec<_> = run.pages_overlapping(key(12, 0), key(12, 3)).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].ppn, Ppn(1));
+        // Query range straddling two pages.
+        let hits: Vec<_> = run.pages_overlapping(key(19, 0), key(20, 3)).collect();
+        assert_eq!(hits.len(), 2);
+        // No overlap.
+        assert_eq!(run.pages_overlapping(key(40, 0), key(40, 3)).count(), 0);
+    }
+}

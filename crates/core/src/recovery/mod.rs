@@ -1,0 +1,515 @@
+//! GeckoRec: GeckoFTL's power-failure recovery (paper §4.3 + Appendix C).
+//!
+//! A crash loses *all* RAM-resident state: the GMD, the LRU cache (with its
+//! dirty entries), Logarithmic Gecko's buffer and run directories, BVC, and
+//! the block manager's bookkeeping. Only the flash device survives. GeckoRec
+//! rebuilds everything in eight steps, reading the device exclusively
+//! through IO-charged spare/page reads so the reported recovery cost is
+//! honest:
+//!
+//! 1. **BID** — scan one spare area per block to classify blocks and
+//!    timestamp them (the Blocks Information Directory).
+//! 2. **GMD** — scan translation-block spare areas; the newest version of
+//!    each translation page wins.
+//! 3. **Run directories** — scan Gecko-block spare areas, read each
+//!    candidate run's postamble (and preamble), and keep exactly the live
+//!    runs (a run is obsolete iff it was merged into a live run — tracked
+//!    via the `merged_from` preamble field).
+//! 4. **Buffer** — recreate erase markers for blocks erased since the last
+//!    buffer flush (C.2.1) and invalidations lost with the buffer by
+//!    diffing translation-page versions written since the last flush
+//!    (C.2.2), with a spare-area timestamp check that also handles physical
+//!    page reuse.
+//! 5. **BVC** — rebuild per-block valid counts from a full scan of
+//!    Logarithmic Gecko plus the recovered buffer.
+//! 6. **Dirty entries** — backwards scan of the most recently written user
+//!    blocks (bounded to `2·C` spare reads by runtime checkpoints),
+//!    recreating a cached mapping entry per fresh LPN.
+//! 7. **Flags** — recovered entries get dirty/UIP/uncertain = true;
+//!    corrections happen lazily after operation resumes (Appendix C.3).
+//! 8. **Resume** — dispose of BID, reassemble the engine.
+
+use crate::cache::{CacheEntry, MappingCache};
+use crate::ftl::block_manager::{BlockGroup, BlockManager, BlockState};
+use crate::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
+use crate::gecko::{GeckoConfig, GeckoPagePayload, LogGecko, Run, RunDirEntry, RunMeta};
+use crate::translation::{TranslationPagePayload, TranslationTable};
+use flash_sim::{
+    BlockId, FlashDevice, IoPurpose, MetaKind, PageOffset, Ppn, SpareInfo,
+};
+use std::collections::{HashMap, HashSet};
+
+/// The eight steps of GeckoRec, for per-step cost reporting.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecoveryStep {
+    /// Step 1: Blocks Information Directory.
+    Bid,
+    /// Step 2: Global Mapping Directory.
+    Gmd,
+    /// Step 3: Logarithmic Gecko run directories.
+    RunDirectories,
+    /// Step 4: Logarithmic Gecko buffer (erases + invalidations).
+    Buffer,
+    /// Step 5: Blocks Validity Counter.
+    Bvc,
+    /// Step 6: dirty cached mapping entries (backwards scan).
+    DirtyEntries,
+}
+
+/// IO cost of one recovery step.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepCost {
+    /// Spare-area reads performed.
+    pub spare_reads: u64,
+    /// Full page reads performed.
+    pub page_reads: u64,
+    /// Simulated time, in microseconds.
+    pub sim_us: f64,
+}
+
+/// Full recovery report: per-step costs plus totals.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// `(step, cost)` in execution order.
+    pub steps: Vec<(RecoveryStep, StepCost)>,
+    /// Entries recreated in the cache by step 6.
+    pub recovered_entries: usize,
+    /// Erase markers recreated by step 4a.
+    pub recovered_erases: usize,
+    /// Invalidations recreated by step 4b.
+    pub recovered_invalidations: usize,
+}
+
+impl RecoveryReport {
+    /// Total simulated recovery time in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.steps.iter().map(|(_, c)| c.sim_us).sum::<f64>() / 1e6
+    }
+
+    /// Total spare reads across steps.
+    pub fn total_spare_reads(&self) -> u64 {
+        self.steps.iter().map(|(_, c)| c.spare_reads).sum()
+    }
+
+    /// Total page reads across steps.
+    pub fn total_page_reads(&self) -> u64 {
+        self.steps.iter().map(|(_, c)| c.page_reads).sum()
+    }
+}
+
+/// One BID entry (Appendix C step 1).
+#[derive(Clone, Copy, Debug)]
+struct BidEntry {
+    group: Option<BlockGroup>,
+    /// Sequence number of the block's first written page (0 if empty).
+    first_seq: u64,
+    written: u32,
+}
+
+struct StepTimer {
+    start_counts: flash_sim::IoCounts,
+    start_us: f64,
+}
+
+impl StepTimer {
+    fn start(dev: &FlashDevice) -> Self {
+        StepTimer {
+            start_counts: dev.stats().counts(IoPurpose::Recovery),
+            start_us: dev.clock().now_us(),
+        }
+    }
+
+    fn stop(self, dev: &FlashDevice) -> StepCost {
+        let now = dev.stats().counts(IoPurpose::Recovery);
+        StepCost {
+            spare_reads: now.spare_reads - self.start_counts.spare_reads,
+            page_reads: now.page_reads - self.start_counts.page_reads,
+            sim_us: dev.clock().now_us() - self.start_us,
+        }
+    }
+}
+
+/// Run GeckoRec on a crashed device and return the recovered engine plus the
+/// cost report.
+///
+/// `cfg` and `gecko_cfg` are configuration, not state: a real device stores
+/// them in a superblock; re-deriving them costs no IO.
+pub fn gecko_recover(
+    mut dev: FlashDevice,
+    cfg: FtlConfig,
+    gecko_cfg: GeckoConfig,
+) -> (FtlEngine, RecoveryReport) {
+    let geo = dev.geometry();
+    let mut report = RecoveryReport::default();
+
+    // ---- Step 1: BID — one spare read per non-empty block. -------------
+    let timer = StepTimer::start(&dev);
+    let mut bid: Vec<BidEntry> = Vec::with_capacity(geo.blocks as usize);
+    for b in geo.iter_blocks() {
+        let written = dev.written_pages(b);
+        if written == 0 {
+            bid.push(BidEntry { group: None, first_seq: 0, written });
+            continue;
+        }
+        let spare = dev
+            .read_spare(geo.first_page(b), IoPurpose::Recovery)
+            .expect("non-empty block has a written first page");
+        let group = match spare.info {
+            SpareInfo::User { .. } => BlockGroup::User,
+            SpareInfo::Translation { .. } => BlockGroup::Translation,
+            SpareInfo::Meta { kind, .. } => BlockGroup::Meta(kind),
+        };
+        bid.push(BidEntry { group: Some(group), first_seq: spare.seq, written });
+    }
+    report.steps.push((RecoveryStep::Bid, timer.stop(&dev)));
+
+    // ---- Step 2: GMD — scan spare areas of all translation pages. ------
+    let timer = StepTimer::start(&dev);
+    let n_tpages = geo.translation_pages() as usize;
+    // All surviving versions of every translation page, sorted by seq.
+    let mut tpage_versions: Vec<Vec<(u64, Ppn)>> = vec![Vec::new(); n_tpages];
+    for b in geo.iter_blocks() {
+        if bid[b.0 as usize].group != Some(BlockGroup::Translation) {
+            continue;
+        }
+        for off in 0..bid[b.0 as usize].written {
+            let ppn = geo.ppn(b, PageOffset(off));
+            let spare = dev.read_spare(ppn, IoPurpose::Recovery).expect("written page");
+            let SpareInfo::Translation { tpage } = spare.info else {
+                panic!("translation block holds {:?}", spare.info)
+            };
+            tpage_versions[tpage as usize].push((spare.seq, ppn));
+        }
+    }
+    for versions in &mut tpage_versions {
+        versions.sort_unstable_by_key(|(seq, _)| *seq);
+    }
+    let gmd: Vec<Option<Ppn>> = tpage_versions
+        .iter()
+        .map(|v| v.last().map(|(_, ppn)| *ppn))
+        .collect();
+    report.steps.push((RecoveryStep::Gmd, timer.stop(&dev)));
+
+    // ---- Step 3: run directories. ---------------------------------------
+    let timer = StepTimer::start(&dev);
+    let runs = recover_runs(&mut dev, &bid);
+    let live_pages: HashSet<Ppn> = runs
+        .iter()
+        .flat_map(|r| r.pages.iter().map(|p| p.ppn))
+        .collect();
+    let mut gecko = LogGecko::from_recovered(geo, gecko_cfg, runs);
+    report.steps.push((RecoveryStep::RunDirectories, timer.stop(&dev)));
+
+    // ---- Step 4: buffer. -------------------------------------------------
+    let timer = StepTimer::start(&dev);
+    let threshold = gecko.last_flush_seq();
+    // 4a (C.2.1): blocks erased since the last flush get erase markers. The
+    // erase timestamp is persisted in a spare area (Appendix D), read as
+    // part of the step-1 scan.
+    for b in geo.iter_blocks() {
+        // The paper's rule: "all blocks that are free or whose first page
+        // was written after this timestamp". The persisted erase timestamp
+        // (Appendix D) expresses both cases directly.
+        let erased_since_flush = dev.erase_seq(b) > threshold
+            || bid[b.0 as usize].first_seq > threshold && bid[b.0 as usize].written > 0;
+        if erased_since_flush {
+            gecko.recover_erase_marker(b);
+            report.recovered_erases += 1;
+        }
+    }
+    // 4b (C.2.2): diff translation-page versions written since the last
+    // flush against their predecessors; every mapping change names a
+    // physical page that was invalidated after the flush.
+    for versions in &tpage_versions {
+        let newer: Vec<(u64, Ppn)> = versions.iter().copied().filter(|(s, _)| *s > threshold).collect();
+        if newer.is_empty() {
+            continue;
+        }
+        // Chain: newest version at or before the threshold (if any), then
+        // every later version in order.
+        let base = versions.iter().rev().find(|(s, _)| *s <= threshold).copied();
+        let mut chain: Vec<Option<(u64, Ppn)>> = vec![base];
+        chain.extend(newer.into_iter().map(Some));
+        for pair in chain.windows(2) {
+            let (prev, next) = (pair[0], pair[1].expect("suffix entries exist"));
+            let Some((prev_seq, prev_ppn)) = prev else {
+                // Never-written baseline is all-unmapped: nothing to diff.
+                continue;
+            };
+            let prev_entries = read_tpage(&mut dev, prev_ppn).entries;
+            let next_payload = read_tpage(&mut dev, next.1);
+            for (i, &new_val) in next_payload.entries.iter().enumerate() {
+                let old_val = prev_entries.get(i).copied().unwrap_or(u32::MAX);
+                if old_val == new_val || old_val == u32::MAX {
+                    continue;
+                }
+                let candidate = Ppn(old_val);
+                // Timestamp check: only report if the page still holds the
+                // exact data this synchronization invalidated. Content that
+                // the *previous* version pointed at was necessarily written
+                // before that version; anything newer on this physical page
+                // is a fresh life (the block was erased and rewritten, e.g.
+                // after a GC UIP-skip) and must not be re-marked.
+                let Ok(spare) = dev.read_spare(candidate, IoPurpose::Recovery) else {
+                    continue; // erased since — covered by an erase marker
+                };
+                if spare.seq < prev_seq && matches!(spare.info, SpareInfo::User { .. }) {
+                    gecko.recover_invalidation(candidate);
+                    report.recovered_invalidations += 1;
+                }
+            }
+        }
+    }
+    report.steps.push((RecoveryStep::Buffer, timer.stop(&dev)));
+
+    // ---- Step 5: BVC. -----------------------------------------------------
+    let timer = StepTimer::start(&dev);
+    let invalid_maps = gecko.scan_all_bitmaps(&mut dev, IoPurpose::Recovery);
+    let mut bvc = vec![0u32; geo.blocks as usize];
+    let mut state = vec![BlockState::Free; geo.blocks as usize];
+    for b in geo.iter_blocks() {
+        let entry = &bid[b.0 as usize];
+        let Some(group) = entry.group else { continue };
+        state[b.0 as usize] = BlockState::InUse(group);
+        bvc[b.0 as usize] = match group {
+            BlockGroup::User => {
+                let invalid = invalid_maps
+                    .get(&b)
+                    .map_or(0, |bm| (0..entry.written).filter(|&i| bm.get(i)).count() as u32);
+                entry.written - invalid
+            }
+            BlockGroup::Translation => (0..entry.written)
+                .filter(|&off| {
+                    let ppn = geo.ppn(b, PageOffset(off));
+                    gmd.contains(&Some(ppn))
+                })
+                .count() as u32,
+            BlockGroup::Meta(MetaKind::GeckoRun) => (0..entry.written)
+                .filter(|&off| live_pages.contains(&geo.ppn(b, PageOffset(off))))
+                .count() as u32,
+            // Other metadata kinds belong to baseline stores, which GeckoRec
+            // does not manage.
+            BlockGroup::Meta(_) => entry.written,
+        };
+    }
+    report.steps.push((RecoveryStep::Bvc, timer.stop(&dev)));
+
+    // ---- Step 6: dirty cached mapping entries. ----------------------------
+    let timer = StepTimer::start(&dev);
+    let mut cache = MappingCache::new(cfg.cache_entries);
+    // Order user blocks by the timestamp of their newest page (one spare
+    // read per user block — the paper's "K spare area reads, one per flash
+    // block").
+    let mut user_blocks: Vec<(u64, BlockId)> = Vec::new();
+    for b in geo.iter_blocks() {
+        let entry = &bid[b.0 as usize];
+        if entry.group != Some(BlockGroup::User) || entry.written == 0 {
+            continue;
+        }
+        let last = geo.ppn(b, PageOffset(entry.written - 1));
+        let spare = dev.read_spare(last, IoPurpose::Recovery).expect("written page");
+        user_blocks.push((spare.seq, b));
+    }
+    user_blocks.sort_unstable_by_key(|(seq, _)| std::cmp::Reverse(*seq));
+    // Checkpoints bound the scan to ≈2·C spare reads. GC migrations tick the
+    // checkpoint clock too, but one trigger can overshoot the period by a
+    // burst of migrations before the next end-of-op check, so the window
+    // carries a small cushion. Without checkpoints (ablation) the scan must
+    // cover everything.
+    let scan_limit: u64 = match (cfg.recovery, cfg.checkpoint_period) {
+        (RecoveryPolicy::CheckpointDeferred, Some(period)) => {
+            // One checkpoint epoch can overshoot the period by at most one
+            // GC victim's worth of migrations (the clock is honored between
+            // victims), hence the small O(B) cushion.
+            period.saturating_mul(2).saturating_add(4 * geo.pages_per_block as u64)
+        }
+        _ => u64::MAX,
+    };
+    let mut scanned = 0u64;
+    let mut seen: HashSet<flash_sim::Lpn> = HashSet::new();
+    // Newest-first list of recreated entries; the newest `C` go into the
+    // cache, the remainder (possible only when GC-migration copies inflate
+    // the unique count) are verified eagerly right after resume.
+    let mut recreated: Vec<CacheEntry> = Vec::new();
+    'scan: for &(_, b) in &user_blocks {
+        let written = bid[b.0 as usize].written;
+        for off in (0..written).rev() {
+            let ppn = geo.ppn(b, PageOffset(off));
+            let spare = dev.read_spare(ppn, IoPurpose::Recovery).expect("written page");
+            // The scan serves two purposes with two horizons. Dirty-entry
+            // recreation needs the checkpoint-bounded window. Re-deriving
+            // the buffer's *immediate* invalidation reports (the
+            // before-image pointers, §4.1) needs every user page written
+            // since the last Gecko flush — those reports lived only in the
+            // lost buffer. Stop once both horizons are exhausted; blocks
+            // are walked newest-first, so everything further is older.
+            if scanned >= scan_limit && spare.seq <= threshold {
+                break 'scan;
+            }
+            scanned += 1;
+            let SpareInfo::User { lpn, before } = spare.info else {
+                panic!("user block holds {:?}", spare.info)
+            };
+            // Re-report the immediate invalidation carried in the spare
+            // area, if its target still holds the superseded data (same
+            // timestamp discipline as the step-4b check).
+            if let Some(b) = before {
+                if let Ok(bs) = dev.read_spare(b, IoPurpose::Recovery) {
+                    if bs.seq < spare.seq
+                        && matches!(bs.info, SpareInfo::User { lpn: bl, .. } if bl == lpn)
+                    {
+                        gecko.recover_invalidation(b);
+                        report.recovered_invalidations += 1;
+                    }
+                }
+            }
+            if scanned <= scan_limit && seen.insert(lpn) {
+                // Step 7 folded in: flags assumed dirty/UIP, marked
+                // uncertain for the App. C.3 corrections.
+                recreated.push(CacheEntry {
+                    lpn,
+                    ppn,
+                    dirty: true,
+                    uip: true,
+                    uncertain: true,
+                    written_epoch: 0,
+                });
+                report.recovered_entries += 1;
+            }
+        }
+    }
+    let overflow: Vec<CacheEntry> = if recreated.len() > cfg.cache_entries {
+        recreated.split_off(cfg.cache_entries)
+    } else {
+        Vec::new()
+    };
+    // Insert oldest-first so the newest entry ends up most-recently-used.
+    for e in recreated.into_iter().rev() {
+        cache.insert(e);
+    }
+    report.steps.push((RecoveryStep::DirtyEntries, timer.stop(&dev)));
+
+    // ---- Step 8: reassemble and resume. -----------------------------------
+    let mut bm = BlockManager::from_recovered(
+        geo,
+        state,
+        bvc,
+        cfg.gc_policy == GcPolicy::MetadataAware,
+    );
+    // Re-adopt each group's partially written block as its active block.
+    for b in geo.iter_blocks() {
+        let entry = &bid[b.0 as usize];
+        if let Some(group) = entry.group {
+            if entry.written > 0 && entry.written < geo.pages_per_block {
+                bm.adopt_active(b, group);
+            }
+        }
+    }
+    let tt = TranslationTable::from_recovered(geo, gmd);
+    let mut cfg = cfg;
+    if cfg.checkpoint_period.is_none() && matches!(cfg.recovery, RecoveryPolicy::CheckpointDeferred)
+    {
+        cfg.checkpoint_period = Some(cfg.cache_entries as u64);
+    }
+    let mut engine = FtlEngine::from_parts(dev, bm, tt, cache, ValidityBackend::Gecko(gecko), cfg);
+    // Entries that did not fit into the cache cannot wait for lazy
+    // correction (dropping them could lose a dirty mapping): verify them
+    // against the translation table immediately via ordinary
+    // synchronization operations (mostly C.3.1 aborts).
+    engine.resolve_recovered_overflow(overflow);
+    (engine, report)
+}
+
+fn read_tpage(dev: &mut FlashDevice, ppn: Ppn) -> TranslationPagePayload {
+    dev.read_page(ppn, IoPurpose::Recovery)
+        .expect("translation page readable")
+        .blob::<TranslationPagePayload>()
+        .expect("translation payload")
+        .clone()
+}
+
+/// Recover the set of live runs (Appendix C.1): group Gecko pages by run ID
+/// via spare scans, read postambles/preambles, keep complete runs that were
+/// not merged into a newer live run.
+fn recover_runs(dev: &mut FlashDevice, bid: &[BidEntry]) -> Vec<Run> {
+    let geo = dev.geometry();
+    // (seq, ppn) per run id, in write order.
+    let mut run_pages: HashMap<u64, Vec<(u64, Ppn)>> = HashMap::new();
+    for b in geo.iter_blocks() {
+        let entry = &bid[b.0 as usize];
+        if entry.group != Some(BlockGroup::Meta(MetaKind::GeckoRun)) {
+            continue;
+        }
+        for off in 0..entry.written {
+            let ppn = geo.ppn(b, PageOffset(off));
+            let spare = dev.read_spare(ppn, IoPurpose::Recovery).expect("written page");
+            let SpareInfo::Meta { kind: MetaKind::GeckoRun, tag } = spare.info else {
+                panic!("gecko block holds {:?}", spare.info)
+            };
+            run_pages.entry(tag).or_default().push((spare.seq, ppn));
+        }
+    }
+
+    struct Candidate {
+        meta: RunMeta,
+        pages: Vec<RunDirEntry>,
+        entry_count: u64,
+    }
+    let mut candidates: Vec<Candidate> = Vec::new();
+    for (_, mut pages) in run_pages {
+        pages.sort_unstable_by_key(|(seq, _)| *seq);
+        // The postamble lives on the last written page of the run.
+        let &(_, last_ppn) = pages.last().expect("non-empty run group");
+        let last = dev
+            .read_page(last_ppn, IoPurpose::Recovery)
+            .expect("gecko page readable");
+        let payload = last.blob::<GeckoPagePayload>().expect("gecko payload");
+        let Some(post) = payload.postamble.clone() else {
+            continue; // partially written run: discard
+        };
+        if post.total_pages as usize != pages.len() {
+            continue; // incomplete: some pages missing or extra garbage
+        }
+        let meta = if let Some(pre) = payload.preamble.clone() {
+            pre // single-page run: preamble and postamble share the page
+        } else {
+            let first = dev
+                .read_page(pages[0].1, IoPurpose::Recovery)
+                .expect("gecko page readable");
+            first
+                .blob::<GeckoPagePayload>()
+                .expect("gecko payload")
+                .preamble
+                .clone()
+                .expect("first run page carries the preamble")
+        };
+        let mut ppns = post.ppns.clone();
+        ppns.push(last_ppn); // the postamble page's own address
+        debug_assert_eq!(ppns.len(), post.ranges.len());
+        let entry_count = 0; // recomputed lazily; not needed for queries
+        let dir: Vec<RunDirEntry> = post
+            .ranges
+            .iter()
+            .zip(ppns)
+            .map(|(&(first, last), ppn)| RunDirEntry { ppn, first, last })
+            .collect();
+        candidates.push(Candidate { meta, pages: dir, entry_count });
+    }
+
+    // Liveness: walk newest-first. Every accepted run supersedes all runs
+    // created in `[supersedes_since, created_seq)`; anything falling in an
+    // accepted run's window is a merged-away leftover. A live deeper run is
+    // always older than every transitive input of the runs above it (data
+    // age orders by level), so it falls below every window and is accepted.
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.meta.created_seq));
+    let mut min_supersedes = u64::MAX;
+    let mut live: Vec<Run> = Vec::new();
+    for c in candidates {
+        if c.meta.created_seq >= min_supersedes {
+            continue; // folded into an already-accepted (newer) run
+        }
+        min_supersedes = min_supersedes.min(c.meta.supersedes_since);
+        live.push(Run { meta: c.meta, pages: c.pages, entry_count: c.entry_count });
+    }
+    live
+}

@@ -1,0 +1,321 @@
+//! The flash-resident page-associative translation table, its RAM-resident
+//! Global Mapping Directory (GMD), and synchronization operations (paper §2,
+//! §4 — the DFTL-style scheme GeckoFTL adopts).
+//!
+//! The translation table is an array of 4-byte physical addresses indexed by
+//! LPN, stored across *translation pages* of `P/4` entries each. Translation
+//! pages are updated out-of-place; the GMD maps each translation-page index
+//! to its current flash location.
+//!
+//! A *synchronization operation* batches all dirty cached mapping entries
+//! that belong to one translation page: it reads the page, applies the
+//! updates, writes the new version, repoints the GMD and reports the old
+//! version obsolete. It returns the *before-images* (the physical addresses
+//! the table held before the update) so the caller can report invalidated
+//! user pages to the validity store (§4.1's UIP protocol).
+
+use crate::ftl::block_manager::{BlockGroup, BlockManager};
+use flash_sim::{FlashDevice, Geometry, IoPurpose, Lpn, PageData, Ppn, SpareInfo};
+
+/// Sentinel for "logical page never written".
+const UNMAPPED: u32 = u32::MAX;
+
+/// Payload of one translation page in flash.
+#[derive(Clone, Debug)]
+pub struct TranslationPagePayload {
+    /// Which slice of the table this page holds.
+    pub tpage: u32,
+    /// `entries[i]` is the physical address of LPN `tpage·per + i`, or
+    /// `UNMAPPED`.
+    pub entries: Vec<u32>,
+}
+
+impl TranslationPagePayload {
+    /// Look up the mapping for an in-range LPN offset.
+    pub fn get(&self, offset: u32) -> Option<Ppn> {
+        match self.entries[offset as usize] {
+            UNMAPPED => None,
+            p => Some(Ppn(p)),
+        }
+    }
+}
+
+/// Outcome of a synchronization operation.
+#[derive(Clone, Debug, Default)]
+pub struct SyncOutcome {
+    /// `(lpn, before-image)` for every entry whose mapping actually changed;
+    /// `None` before-image means the LPN was previously unmapped.
+    pub before_images: Vec<(Lpn, Option<Ppn>)>,
+    /// LPNs whose cached value already matched the flash-resident entry
+    /// (recovery false-alarms, Appendix C.3.1).
+    pub already_synced: Vec<Lpn>,
+    /// Whether the write was skipped because every update was a false alarm
+    /// ("GeckoFTL aborts the synchronization operation thereby saving one
+    /// flash write").
+    pub aborted: bool,
+}
+
+/// The translation table: GMD in RAM, translation pages in flash.
+#[derive(Clone, Debug)]
+pub struct TranslationTable {
+    geo: Geometry,
+    /// GMD: current flash location of every translation page.
+    gmd: Vec<Option<Ppn>>,
+}
+
+impl TranslationTable {
+    /// An unformatted table (all GMD slots empty).
+    pub fn new(geo: Geometry) -> Self {
+        TranslationTable { geo, gmd: vec![None; geo.translation_pages() as usize] }
+    }
+
+    /// Rebuild from a recovered GMD (Appendix C step 2).
+    pub fn from_recovered(geo: Geometry, gmd: Vec<Option<Ppn>>) -> Self {
+        assert_eq!(gmd.len(), geo.translation_pages() as usize);
+        TranslationTable { geo, gmd }
+    }
+
+    /// Materialize every translation page with all-unmapped entries.
+    /// Performed once at device format time; charged to `TranslationInit`.
+    pub fn format(&mut self, dev: &mut FlashDevice, bm: &mut BlockManager) {
+        let per = self.geo.entries_per_translation_page();
+        for tpage in 0..self.gmd.len() as u32 {
+            let payload = TranslationPagePayload { tpage, entries: vec![UNMAPPED; per as usize] };
+            let ppn = bm.append(
+                dev,
+                BlockGroup::Translation,
+                PageData::blob_of(payload),
+                SpareInfo::Translation { tpage },
+                IoPurpose::TranslationInit,
+            );
+            self.gmd[tpage as usize] = Some(ppn);
+        }
+    }
+
+    /// Number of translation pages.
+    pub fn num_tpages(&self) -> u32 {
+        self.gmd.len() as u32
+    }
+
+    /// Translation page covering an LPN.
+    pub fn tpage_of(&self, lpn: Lpn) -> u32 {
+        lpn.0 / self.geo.entries_per_translation_page()
+    }
+
+    /// The LPN range `[lo, hi)` a translation page covers.
+    pub fn lpn_range(&self, tpage: u32) -> (Lpn, Lpn) {
+        let per = self.geo.entries_per_translation_page();
+        (Lpn(tpage * per), Lpn((tpage + 1) * per))
+    }
+
+    /// Current flash location of a translation page.
+    pub fn tpage_location(&self, tpage: u32) -> Option<Ppn> {
+        self.gmd[tpage as usize]
+    }
+
+    /// GMD RAM footprint: 4 bytes per translation page (`4·TT/P`, §2).
+    pub fn gmd_ram_bytes(&self) -> u64 {
+        4 * self.gmd.len() as u64
+    }
+
+    /// Read the mapping for `lpn` from flash (one translation-page read,
+    /// charged to `purpose`).
+    pub fn lookup(&self, dev: &mut FlashDevice, lpn: Lpn, purpose: IoPurpose) -> Option<Ppn> {
+        let tpage = self.tpage_of(lpn);
+        let loc = self.gmd[tpage as usize]?;
+        let data = dev.read_page(loc, purpose).expect("GMD points at a written page");
+        let payload = data
+            .blob::<TranslationPagePayload>()
+            .expect("translation block page holds a translation payload");
+        payload.get(lpn.0 % self.geo.entries_per_translation_page())
+    }
+
+    /// Synchronization operation: apply `updates` (cached dirty mappings) to
+    /// the translation page `tpage`.
+    ///
+    /// `verify` marks updates coming from *uncertain* recovered entries
+    /// (Appendix C.3): for those, an update equal to the flash-resident
+    /// entry is reported in [`SyncOutcome::already_synced`] instead of being
+    /// written, and if **all** updates are false alarms the write is aborted.
+    pub fn synchronize(
+        &mut self,
+        dev: &mut FlashDevice,
+        bm: &mut BlockManager,
+        tpage: u32,
+        updates: &[(Lpn, Ppn)],
+        verify: bool,
+    ) -> SyncOutcome {
+        let per = self.geo.entries_per_translation_page();
+        let old_loc = self.gmd[tpage as usize].expect("synchronize against a formatted table");
+        let data = dev
+            .read_page(old_loc, IoPurpose::TranslationSync)
+            .expect("GMD points at a written page");
+        let payload = data
+            .blob::<TranslationPagePayload>()
+            .expect("translation page payload");
+        let mut entries = payload.entries.clone();
+
+        let mut outcome = SyncOutcome::default();
+        let mut changed = false;
+        for &(lpn, new_ppn) in updates {
+            debug_assert_eq!(self.tpage_of(lpn), tpage, "update belongs to another tpage");
+            let off = (lpn.0 % per) as usize;
+            let old = entries[off];
+            if old == new_ppn.0 {
+                debug_assert!(verify, "a genuinely dirty entry must differ from flash");
+                outcome.already_synced.push(lpn);
+                continue;
+            }
+            entries[off] = new_ppn.0;
+            changed = true;
+            let before = (old != UNMAPPED).then_some(Ppn(old));
+            outcome.before_images.push((lpn, before));
+        }
+
+        if !changed {
+            outcome.aborted = true;
+            return outcome;
+        }
+
+        let new_payload = TranslationPagePayload { tpage, entries };
+        let new_loc = bm.append(
+            dev,
+            BlockGroup::Translation,
+            PageData::blob_of(new_payload),
+            SpareInfo::Translation { tpage },
+            IoPurpose::TranslationSync,
+        );
+        self.gmd[tpage as usize] = Some(new_loc);
+        bm.page_obsolete(dev, old_loc);
+        outcome
+    }
+
+    /// Migrate a live translation page during greedy garbage-collection
+    /// (baseline FTLs): rewrite it verbatim at a new location.
+    pub fn migrate_tpage(&mut self, dev: &mut FlashDevice, bm: &mut BlockManager, tpage: u32) {
+        let old_loc = self.gmd[tpage as usize].expect("migrating an unmaterialized tpage");
+        let data = dev
+            .read_page(old_loc, IoPurpose::TranslationGc)
+            .expect("live tpage readable");
+        let payload = data
+            .blob::<TranslationPagePayload>()
+            .expect("translation page payload")
+            .clone();
+        let new_loc = bm.append(
+            dev,
+            BlockGroup::Translation,
+            PageData::blob_of(payload),
+            SpareInfo::Translation { tpage },
+            IoPurpose::TranslationGc,
+        );
+        self.gmd[tpage as usize] = Some(new_loc);
+        // The caller is responsible for the victim block's bookkeeping; the
+        // old page is inside a block about to be erased.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (FlashDevice, BlockManager, TranslationTable) {
+        let geo = Geometry::tiny();
+        let mut dev = FlashDevice::new(geo);
+        let mut bm = BlockManager::new(geo);
+        let mut tt = TranslationTable::new(geo);
+        tt.format(&mut dev, &mut bm);
+        (dev, bm, tt)
+    }
+
+    #[test]
+    fn format_materializes_every_tpage() {
+        let (mut dev, _bm, tt) = setup();
+        assert!(tt.num_tpages() >= 1);
+        for t in 0..tt.num_tpages() {
+            assert!(tt.tpage_location(t).is_some());
+        }
+        assert_eq!(tt.lookup(&mut dev, Lpn(0), IoPurpose::TranslationFetch), None);
+    }
+
+    #[test]
+    fn synchronize_updates_mapping_and_returns_before_images() {
+        let (mut dev, mut bm, mut tt) = setup();
+        let out = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(3), Ppn(77))], false);
+        assert_eq!(out.before_images, vec![(Lpn(3), None)]);
+        assert!(!out.aborted);
+        assert_eq!(tt.lookup(&mut dev, Lpn(3), IoPurpose::TranslationFetch), Some(Ppn(77)));
+
+        let out2 = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(3), Ppn(99))], false);
+        assert_eq!(out2.before_images, vec![(Lpn(3), Some(Ppn(77)))]);
+        assert_eq!(tt.lookup(&mut dev, Lpn(3), IoPurpose::TranslationFetch), Some(Ppn(99)));
+    }
+
+    #[test]
+    fn old_translation_page_reported_obsolete() {
+        let (mut dev, mut bm, mut tt) = setup();
+        let old_loc = tt.tpage_location(0).unwrap();
+        let old_block = dev.geometry().block_of(old_loc);
+        let bvc_before = bm.valid_pages(old_block);
+        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(0), Ppn(5))], false);
+        let new_loc = tt.tpage_location(0).unwrap();
+        assert_ne!(new_loc, old_loc);
+        // The new version lands in the same active translation block: one
+        // page became obsolete (−1) and one new page was appended (+1).
+        let appended_here = (dev.geometry().block_of(new_loc) == old_block) as u32;
+        assert_eq!(bm.valid_pages(old_block), bvc_before - 1 + appended_here);
+    }
+
+    #[test]
+    fn verify_mode_detects_false_alarms_and_aborts() {
+        let (mut dev, mut bm, mut tt) = setup();
+        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50))], false);
+        let stats_before = dev.stats().counts(IoPurpose::TranslationSync);
+        // A recovered entry whose mapping is actually clean.
+        let out = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50))], true);
+        assert!(out.aborted);
+        assert_eq!(out.already_synced, vec![Lpn(1)]);
+        assert!(out.before_images.is_empty());
+        let stats_after = dev.stats().counts(IoPurpose::TranslationSync);
+        assert_eq!(
+            stats_after.page_writes, stats_before.page_writes,
+            "aborted sync must not write"
+        );
+        assert_eq!(
+            stats_after.page_reads,
+            stats_before.page_reads + 1,
+            "aborted sync still pays the read"
+        );
+    }
+
+    #[test]
+    fn mixed_false_alarm_and_genuine_update() {
+        let (mut dev, mut bm, mut tt) = setup();
+        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50))], false);
+        let out = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50)), (Lpn(2), Ppn(60))], true);
+        assert!(!out.aborted);
+        assert_eq!(out.already_synced, vec![Lpn(1)]);
+        assert_eq!(out.before_images, vec![(Lpn(2), None)]);
+        assert_eq!(tt.lookup(&mut dev, Lpn(2), IoPurpose::TranslationFetch), Some(Ppn(60)));
+    }
+
+    #[test]
+    fn migration_preserves_contents() {
+        let (mut dev, mut bm, mut tt) = setup();
+        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(4), Ppn(123))], false);
+        let old = tt.tpage_location(0).unwrap();
+        tt.migrate_tpage(&mut dev, &mut bm, 0);
+        assert_ne!(tt.tpage_location(0), Some(old));
+        assert_eq!(tt.lookup(&mut dev, Lpn(4), IoPurpose::TranslationFetch), Some(Ppn(123)));
+    }
+
+    #[test]
+    fn tpage_math() {
+        let (_dev, _bm, tt) = setup();
+        let per = Geometry::tiny().entries_per_translation_page();
+        assert_eq!(tt.tpage_of(Lpn(0)), 0);
+        assert_eq!(tt.tpage_of(Lpn(per - 1)), 0);
+        let (lo, hi) = tt.lpn_range(0);
+        assert_eq!(lo, Lpn(0));
+        assert_eq!(hi, Lpn(per));
+    }
+}

@@ -1,0 +1,236 @@
+//! Wear-leveling (paper Appendix D).
+//!
+//! GeckoFTL deliberately keeps almost no wear-leveling metadata in
+//! integrated RAM: per-block erase counts and erase timestamps are persisted
+//! in spare areas (the simulator models them as block attributes surviving
+//! erases, per the paper's citation of Marshall & Manning), and only a few
+//! bytes of *global statistics* live in RAM. A gradual scan — one spare-area
+//! read per application flash write — keeps those statistics fresh and
+//! spots outliers:
+//!
+//! * a block with an exceptionally **low erase count** relative to the
+//!   global maximum holds static data and is a candidate for forced
+//!   migration (static wear-leveling);
+//! * allocation prefers less-worn free blocks (dynamic wear-leveling).
+//!
+//! The appendix shows the scan keeps up as long as the fraction of non-static
+//! blocks `1/X` satisfies `X < B`, and degrades gracefully beyond.
+
+use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose};
+
+/// Global wear statistics (the only RAM-resident wear state, ≈30–40 bytes).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WearStats {
+    /// Smallest erase count seen in the current scan window.
+    pub min_erases: u32,
+    /// Largest erase count seen in the current scan window.
+    pub max_erases: u32,
+    /// Mean erase count over the last completed scan.
+    pub avg_erases: f64,
+    /// Number of full device scans completed.
+    pub scans_completed: u64,
+}
+
+impl WearStats {
+    /// Spread between the most and least worn blocks.
+    pub fn spread(&self) -> u32 {
+        self.max_erases.saturating_sub(self.min_erases)
+    }
+}
+
+/// The gradual-scan wear-leveler.
+#[derive(Clone, Debug)]
+pub struct WearLeveler {
+    geo: Geometry,
+    cursor: u32,
+    /// Statistics being accumulated by the in-progress scan.
+    acc_min: u32,
+    acc_max: u32,
+    acc_sum: u64,
+    /// Last completed scan's statistics.
+    stats: WearStats,
+    /// How many spare areas to inspect per flash write (1 in the appendix;
+    /// raised when `X >> B`).
+    pub scan_rate: u32,
+    /// A block this much less worn than the average is a static-data
+    /// candidate.
+    pub static_threshold: u32,
+}
+
+impl WearLeveler {
+    /// A leveler for a device geometry with the appendix's defaults.
+    pub fn new(geo: Geometry) -> Self {
+        WearLeveler {
+            geo,
+            cursor: 0,
+            acc_min: u32::MAX,
+            acc_max: 0,
+            acc_sum: 0,
+            stats: WearStats::default(),
+            scan_rate: 1,
+            static_threshold: 8,
+        }
+    }
+
+    /// RAM cost of wear-leveling state: the global erase counter plus
+    /// min/max/avg statistics (paper: "30–40 bytes at most").
+    pub fn ram_bytes(&self) -> u64 {
+        40
+    }
+
+    /// Statistics from the last completed scan.
+    pub fn stats(&self) -> WearStats {
+        self.stats
+    }
+
+    /// Advance the gradual scan: called once per application flash write,
+    /// inspecting `scan_rate` blocks' spare areas (3 µs each).
+    pub fn on_flash_write(&mut self, dev: &mut FlashDevice) {
+        for _ in 0..self.scan_rate {
+            let block = BlockId(self.cursor);
+            // Reading the per-block wear attributes is a spare-area read.
+            if dev.written_pages(block) > 0 {
+                let _ = dev.read_spare(self.geo.first_page(block), IoPurpose::WearLevel);
+            }
+            let erases = dev.erase_count(block);
+            self.acc_min = self.acc_min.min(erases);
+            self.acc_max = self.acc_max.max(erases);
+            self.acc_sum += erases as u64;
+            self.cursor += 1;
+            if self.cursor == self.geo.blocks {
+                self.stats = WearStats {
+                    min_erases: if self.acc_min == u32::MAX { 0 } else { self.acc_min },
+                    max_erases: self.acc_max,
+                    avg_erases: self.acc_sum as f64 / self.geo.blocks as f64,
+                    scans_completed: self.stats.scans_completed + 1,
+                };
+                self.cursor = 0;
+                self.acc_min = u32::MAX;
+                self.acc_max = 0;
+                self.acc_sum = 0;
+            }
+        }
+    }
+
+    /// Find a static-data candidate: a fully-written block whose erase count
+    /// lags the current maximum by more than the threshold and whose last
+    /// erase is the oldest among candidates (large "age").
+    pub fn pick_static_victim(
+        &self,
+        dev: &FlashDevice,
+        eligible: impl Fn(BlockId) -> bool,
+    ) -> Option<BlockId> {
+        let max = self.stats.max_erases;
+        let mut best: Option<(u64, BlockId)> = None;
+        for b in self.geo.iter_blocks() {
+            if !eligible(b) || !dev.block_is_full(b) {
+                continue;
+            }
+            if dev.erase_count(b) + self.static_threshold > max {
+                continue;
+            }
+            let age_key = dev.erase_seq(b);
+            if best.is_none_or(|(a, _)| age_key < a) {
+                best = Some((age_key, b));
+            }
+        }
+        best.map(|(_, b)| b)
+    }
+
+    /// Among free blocks, the least worn one — dynamic wear-leveling's
+    /// preferred allocation target for hot data.
+    pub fn least_worn(&self, dev: &FlashDevice, candidates: &[BlockId]) -> Option<BlockId> {
+        candidates.iter().copied().min_by_key(|b| dev.erase_count(*b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::Geometry;
+
+    #[test]
+    fn scan_completes_and_reports_stats() {
+        let geo = Geometry::tiny();
+        let mut dev = FlashDevice::new(geo);
+        // Wear block 0 five times, block 1 once.
+        for _ in 0..5 {
+            dev.erase_block(BlockId(0), IoPurpose::WearLevel).unwrap();
+        }
+        dev.erase_block(BlockId(1), IoPurpose::WearLevel).unwrap();
+        let mut wl = WearLeveler::new(geo);
+        for _ in 0..geo.blocks {
+            wl.on_flash_write(&mut dev);
+        }
+        let s = wl.stats();
+        assert_eq!(s.scans_completed, 1);
+        assert_eq!(s.max_erases, 5);
+        assert_eq!(s.min_erases, 0);
+        assert!(s.avg_erases > 0.0 && s.avg_erases < 1.0);
+        assert_eq!(s.spread(), 5);
+    }
+
+    #[test]
+    fn scan_cost_is_spare_reads_only() {
+        let geo = Geometry::tiny();
+        let mut dev = FlashDevice::new(geo);
+        dev.write_page(
+            BlockId(0),
+            flash_sim::PageData::User { lpn: flash_sim::Lpn(0), version: 1 },
+            flash_sim::SpareInfo::User { lpn: flash_sim::Lpn(0), before: None },
+            IoPurpose::UserWrite,
+        )
+        .unwrap();
+        let mut wl = WearLeveler::new(geo);
+        wl.on_flash_write(&mut dev); // inspects block 0, which has a page
+        let c = dev.stats().counts(IoPurpose::WearLevel);
+        assert_eq!(c.spare_reads, 1);
+        assert_eq!(c.page_reads, 0);
+        assert_eq!(c.page_writes, 0);
+    }
+
+    #[test]
+    fn static_victim_is_old_and_unworn() {
+        let geo = Geometry::tiny();
+        let mut dev = FlashDevice::new(geo);
+        // Block 5: written full, never erased (static). Others: worn.
+        for b in 0..geo.blocks {
+            if b == 5 {
+                continue;
+            }
+            for _ in 0..10 {
+                dev.erase_block(BlockId(b), IoPurpose::WearLevel).unwrap();
+            }
+        }
+        for i in 0..geo.pages_per_block {
+            dev.write_page(
+                BlockId(5),
+                flash_sim::PageData::User { lpn: flash_sim::Lpn(i), version: 1 },
+                flash_sim::SpareInfo::User { lpn: flash_sim::Lpn(i), before: None },
+                IoPurpose::UserWrite,
+            )
+            .unwrap();
+        }
+        let mut wl = WearLeveler::new(geo);
+        for _ in 0..geo.blocks {
+            wl.on_flash_write(&mut dev);
+        }
+        assert_eq!(wl.pick_static_victim(&dev, |_| true), Some(BlockId(5)));
+        assert_eq!(wl.pick_static_victim(&dev, |b| b != BlockId(5)), None);
+    }
+
+    #[test]
+    fn least_worn_allocation() {
+        let geo = Geometry::tiny();
+        let mut dev = FlashDevice::new(geo);
+        for _ in 0..3 {
+            dev.erase_block(BlockId(0), IoPurpose::WearLevel).unwrap();
+        }
+        dev.erase_block(BlockId(1), IoPurpose::WearLevel).unwrap();
+        let wl = WearLeveler::new(geo);
+        assert_eq!(
+            wl.least_worn(&dev, &[BlockId(0), BlockId(1), BlockId(2)]),
+            Some(BlockId(2))
+        );
+    }
+}

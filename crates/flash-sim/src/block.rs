@@ -1,0 +1,121 @@
+//! A single flash block: an append-only array of pages.
+
+use crate::error::{FlashError, Result};
+use crate::geometry::{BlockId, PageOffset};
+use crate::page::{Page, PageData, Spare};
+
+/// One flash block. Enforces the two central NAND constraints: writes are
+/// sequential within the block, and pages only become writable again after a
+/// whole-block erase.
+#[derive(Clone, Debug)]
+pub struct Block {
+    pages: Vec<Page>,
+    write_ptr: u32,
+    erase_count: u32,
+    /// Global sequence number of the last erase (0 if never erased).
+    /// Persisted in a spare area in the real design (Appendix D), so it
+    /// survives power failure.
+    erase_seq: u64,
+}
+
+impl Block {
+    pub(crate) fn new(pages_per_block: u32) -> Self {
+        Block {
+            pages: vec![Page::default(); pages_per_block as usize],
+            write_ptr: 0,
+            erase_count: 0,
+            erase_seq: 0,
+        }
+    }
+
+    /// Number of pages programmed since the last erase.
+    pub fn written_pages(&self) -> u32 {
+        self.write_ptr
+    }
+
+    /// Whether the write pointer has reached the end of the block.
+    pub fn is_full(&self) -> bool {
+        self.write_ptr as usize == self.pages.len()
+    }
+
+    /// Whether no page has been programmed since the last erase.
+    pub fn is_empty(&self) -> bool {
+        self.write_ptr == 0
+    }
+
+    /// How many times this block has been erased.
+    pub fn erase_count(&self) -> u32 {
+        self.erase_count
+    }
+
+    /// Global sequence number at the time of the last erase.
+    pub fn erase_seq(&self) -> u64 {
+        self.erase_seq
+    }
+
+    pub(crate) fn append(&mut self, id: BlockId, data: PageData, spare: Spare) -> Result<PageOffset> {
+        if self.is_full() {
+            return Err(FlashError::BlockFull(id));
+        }
+        let off = self.write_ptr;
+        let page = &mut self.pages[off as usize];
+        debug_assert!(!page.is_written(), "write pointer points at a programmed page");
+        page.data = Some(data);
+        page.spare = Some(spare);
+        self.write_ptr += 1;
+        Ok(PageOffset(off))
+    }
+
+    pub(crate) fn erase(&mut self, seq: u64) {
+        for p in &mut self.pages {
+            *p = Page::default();
+        }
+        self.write_ptr = 0;
+        self.erase_count += 1;
+        self.erase_seq = seq;
+    }
+
+    pub(crate) fn page(&self, off: PageOffset) -> &Page {
+        &self.pages[off.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Lpn;
+    use crate::page::SpareInfo;
+
+    fn user(lpn: u32, seq: u64) -> (PageData, Spare) {
+        (
+            PageData::User { lpn: Lpn(lpn), version: seq },
+            Spare { seq, info: SpareInfo::User { lpn: Lpn(lpn), before: None } },
+        )
+    }
+
+    #[test]
+    fn appends_sequentially_until_full() {
+        let mut b = Block::new(4);
+        for i in 0..4 {
+            let (d, s) = user(i, i as u64);
+            let off = b.append(BlockId(0), d, s).unwrap();
+            assert_eq!(off, PageOffset(i));
+        }
+        assert!(b.is_full());
+        let (d, s) = user(9, 9);
+        assert_eq!(b.append(BlockId(0), d, s), Err(FlashError::BlockFull(BlockId(0))));
+    }
+
+    #[test]
+    fn erase_resets_and_counts() {
+        let mut b = Block::new(2);
+        let (d, s) = user(0, 1);
+        b.append(BlockId(0), d, s).unwrap();
+        assert_eq!(b.written_pages(), 1);
+        b.erase(17);
+        assert!(b.is_empty());
+        assert_eq!(b.erase_count(), 1);
+        assert_eq!(b.erase_seq(), 17);
+        assert!(!b.page(PageOffset(0)).is_written());
+    }
+}

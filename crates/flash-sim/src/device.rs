@@ -1,0 +1,341 @@
+//! The flash device: geometry + blocks + clock + purpose-tagged statistics.
+
+use crate::block::Block;
+use crate::error::{FlashError, Result};
+use crate::geometry::{BlockId, Geometry, PageOffset, Ppn};
+use crate::latency::{LatencyModel, SimClock};
+use crate::page::{PageData, Spare, SpareInfo};
+use crate::stats::{IoPurpose, IoStats};
+
+/// A simulated NAND flash device.
+///
+/// The device is the only *persistent* component of the simulation: a power
+/// failure is modelled by dropping all FTL RAM state while keeping the
+/// [`FlashDevice`] intact, then running a recovery algorithm that may only
+/// learn about the world through `read_page` / `read_spare` calls (which are
+/// duly charged to [`IoPurpose::Recovery`]).
+#[derive(Clone, Debug)]
+pub struct FlashDevice {
+    geo: Geometry,
+    blocks: Vec<Block>,
+    latency: LatencyModel,
+    clock: SimClock,
+    stats: IoStats,
+    seq: u64,
+    erase_budget: Option<u32>,
+}
+
+impl FlashDevice {
+    /// Create a device with the paper's latency model.
+    pub fn new(geo: Geometry) -> Self {
+        FlashDevice::with_latency(geo, LatencyModel::paper())
+    }
+
+    /// Create a device with a custom latency model.
+    pub fn with_latency(geo: Geometry, latency: LatencyModel) -> Self {
+        FlashDevice {
+            geo,
+            blocks: (0..geo.blocks).map(|_| Block::new(geo.pages_per_block)).collect(),
+            latency,
+            clock: SimClock::default(),
+            stats: IoStats::default(),
+            seq: 1,
+            erase_budget: None,
+        }
+    }
+
+    /// Configure a per-block erase budget; further erases return
+    /// [`FlashError::BlockWornOut`]. Used by wear-leveling stress tests.
+    pub fn set_erase_budget(&mut self, budget: Option<u32>) {
+        self.erase_budget = budget;
+    }
+
+    /// Device geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// Latency model in effect.
+    pub fn latency(&self) -> LatencyModel {
+        self.latency
+    }
+
+    /// Simulated clock (advanced by every IO).
+    pub fn clock(&self) -> SimClock {
+        self.clock
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &IoStats {
+        &self.stats
+    }
+
+    /// Mutable statistics (the FTL bumps `logical_writes` here).
+    pub fn stats_mut(&mut self) -> &mut IoStats {
+        &mut self.stats
+    }
+
+    /// Current global write sequence number ("device timestamp").
+    pub fn now_seq(&self) -> u64 {
+        self.seq
+    }
+
+    fn bump_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    fn check_block(&self, block: BlockId) -> Result<()> {
+        if block.0 < self.geo.blocks {
+            Ok(())
+        } else {
+            Err(FlashError::BlockOutOfRange(block))
+        }
+    }
+
+    fn check_ppn(&self, ppn: Ppn) -> Result<()> {
+        if self.geo.contains(ppn) {
+            Ok(())
+        } else {
+            Err(FlashError::OutOfRange(ppn))
+        }
+    }
+
+    /// Program the next free page of `block` (sequential-write constraint).
+    /// Returns the physical page number that was written.
+    pub fn write_page(
+        &mut self,
+        block: BlockId,
+        data: PageData,
+        info: SpareInfo,
+        purpose: IoPurpose,
+    ) -> Result<Ppn> {
+        self.check_block(block)?;
+        let seq = self.bump_seq();
+        let off = self.blocks[block.0 as usize].append(block, data, Spare { seq, info })?;
+        self.stats.record_page_write(purpose);
+        self.clock.advance_us(self.latency.page_write_us);
+        Ok(self.geo.ppn(block, off))
+    }
+
+    /// Read a programmed page. Returns a cheap clone of the payload.
+    pub fn read_page(&mut self, ppn: Ppn, purpose: IoPurpose) -> Result<PageData> {
+        self.check_ppn(ppn)?;
+        let block = self.geo.block_of(ppn);
+        let off = self.geo.offset_of(ppn);
+        let page = self.blocks[block.0 as usize].page(off);
+        let data = page.data.clone().ok_or(FlashError::PageNotWritten(ppn))?;
+        self.stats.record_page_read(purpose);
+        self.clock.advance_us(self.latency.page_read_us);
+        Ok(data)
+    }
+
+    /// Read only the spare area of a programmed page (≈32× cheaper than a
+    /// full page read; the workhorse of the paper's recovery algorithms).
+    pub fn read_spare(&mut self, ppn: Ppn, purpose: IoPurpose) -> Result<Spare> {
+        self.check_ppn(ppn)?;
+        let block = self.geo.block_of(ppn);
+        let off = self.geo.offset_of(ppn);
+        let page = self.blocks[block.0 as usize].page(off);
+        let spare = page.spare.ok_or(FlashError::PageNotWritten(ppn))?;
+        self.stats.record_spare_read(purpose);
+        self.clock.advance_us(self.latency.spare_read_us);
+        Ok(spare)
+    }
+
+    /// Erase a whole block, freeing all of its pages.
+    pub fn erase_block(&mut self, block: BlockId, purpose: IoPurpose) -> Result<()> {
+        self.check_block(block)?;
+        if let Some(budget) = self.erase_budget {
+            if self.blocks[block.0 as usize].erase_count() >= budget {
+                return Err(FlashError::BlockWornOut(block));
+            }
+        }
+        let seq = self.bump_seq();
+        self.blocks[block.0 as usize].erase(seq);
+        self.stats.record_erase(purpose);
+        self.clock.advance_us(self.latency.erase_us);
+        Ok(())
+    }
+
+    /// Block-level inspection: number of pages programmed since last erase.
+    ///
+    /// This is free (no IO charge): firmware can detect erased pages at
+    /// negligible cost, and the recovery algorithms that need it have already
+    /// paid for a spare-area scan of the block.
+    pub fn written_pages(&self, block: BlockId) -> u32 {
+        self.blocks[block.0 as usize].written_pages()
+    }
+
+    /// Whether the block's write pointer has reached the end.
+    pub fn block_is_full(&self, block: BlockId) -> bool {
+        self.blocks[block.0 as usize].is_full()
+    }
+
+    /// Erase count of a block (persisted across power failures in a spare
+    /// area, per Appendix D).
+    pub fn erase_count(&self, block: BlockId) -> u32 {
+        self.blocks[block.0 as usize].erase_count()
+    }
+
+    /// Sequence number of the block's last erase.
+    pub fn erase_seq(&self, block: BlockId) -> u64 {
+        self.blocks[block.0 as usize].erase_seq()
+    }
+
+    /// Whether a page is currently programmed (readable).
+    pub fn is_written(&self, ppn: Ppn) -> bool {
+        let block = self.geo.block_of(ppn);
+        let off = self.geo.offset_of(ppn);
+        self.blocks[block.0 as usize].page(off).is_written()
+    }
+
+    /// Peek at a page without charging IO. **Test/debug only** — recovery
+    /// algorithms must use [`FlashDevice::read_page`].
+    pub fn peek_page(&self, ppn: Ppn) -> Option<&PageData> {
+        let block = self.geo.block_of(ppn);
+        let off = self.geo.offset_of(ppn);
+        self.blocks[block.0 as usize].page(off).data.as_ref()
+    }
+
+    /// Peek at a spare area without charging IO. **Test/debug only.**
+    pub fn peek_spare(&self, ppn: Ppn) -> Option<Spare> {
+        let block = self.geo.block_of(ppn);
+        let off = self.geo.offset_of(ppn);
+        self.blocks[block.0 as usize].page(off).spare
+    }
+
+    /// Iterate the programmed pages of one block in write order, without
+    /// charging IO. **Test/debug only.**
+    pub fn peek_block_pages(&self, block: BlockId) -> impl Iterator<Item = (Ppn, &PageData)> {
+        let geo = self.geo;
+        let b = &self.blocks[block.0 as usize];
+        (0..b.written_pages()).map(move |off| {
+            let ppn = geo.ppn(block, PageOffset(off));
+            (ppn, b.page(PageOffset(off)).data.as_ref().expect("written page has data"))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Lpn;
+
+    fn dev() -> FlashDevice {
+        FlashDevice::new(Geometry::tiny())
+    }
+
+    fn write_user(dev: &mut FlashDevice, block: u32, lpn: u32, version: u64) -> Ppn {
+        dev.write_page(
+            BlockId(block),
+            PageData::User { lpn: Lpn(lpn), version },
+            SpareInfo::User { lpn: Lpn(lpn), before: None },
+            IoPurpose::UserWrite,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut d = dev();
+        let ppn = write_user(&mut d, 3, 42, 7);
+        assert_eq!(d.geometry().block_of(ppn), BlockId(3));
+        let data = d.read_page(ppn, IoPurpose::UserRead).unwrap();
+        assert_eq!(data.as_user(), Some((Lpn(42), 7)));
+        let spare = d.read_spare(ppn, IoPurpose::Recovery).unwrap();
+        assert_eq!(spare.info, SpareInfo::User { lpn: Lpn(42), before: None });
+    }
+
+    #[test]
+    fn sequential_write_constraint() {
+        let mut d = dev();
+        let p0 = write_user(&mut d, 0, 1, 1);
+        let p1 = write_user(&mut d, 0, 2, 1);
+        assert_eq!(p1.0, p0.0 + 1);
+    }
+
+    #[test]
+    fn read_of_unwritten_page_fails() {
+        let mut d = dev();
+        assert!(matches!(
+            d.read_page(Ppn(5), IoPurpose::UserRead),
+            Err(FlashError::PageNotWritten(Ppn(5)))
+        ));
+        assert!(d.read_spare(Ppn(5), IoPurpose::Recovery).is_err());
+    }
+
+    #[test]
+    fn block_fills_and_erase_frees() {
+        let mut d = dev();
+        let b = d.geometry().pages_per_block;
+        for i in 0..b {
+            write_user(&mut d, 0, i, 1);
+        }
+        assert!(d.block_is_full(BlockId(0)));
+        let err = d.write_page(
+            BlockId(0),
+            PageData::User { lpn: Lpn(0), version: 2 },
+            SpareInfo::User { lpn: Lpn(0), before: None },
+            IoPurpose::UserWrite,
+        );
+        assert_eq!(err, Err(FlashError::BlockFull(BlockId(0))));
+        d.erase_block(BlockId(0), IoPurpose::GcMigrateUser).unwrap();
+        assert_eq!(d.written_pages(BlockId(0)), 0);
+        assert_eq!(d.erase_count(BlockId(0)), 1);
+        write_user(&mut d, 0, 9, 3);
+    }
+
+    #[test]
+    fn timestamps_are_monotonic() {
+        let mut d = dev();
+        let p0 = write_user(&mut d, 0, 1, 1);
+        let p1 = write_user(&mut d, 1, 2, 1);
+        let s0 = d.read_spare(p0, IoPurpose::Recovery).unwrap();
+        let s1 = d.read_spare(p1, IoPurpose::Recovery).unwrap();
+        assert!(s1.seq > s0.seq);
+        d.erase_block(BlockId(2), IoPurpose::GcMigrateUser).unwrap();
+        assert!(d.erase_seq(BlockId(2)) > s1.seq);
+    }
+
+    #[test]
+    fn clock_and_stats_account_io() {
+        let mut d = dev();
+        let ppn = write_user(&mut d, 0, 1, 1);
+        d.read_page(ppn, IoPurpose::UserRead).unwrap();
+        d.read_spare(ppn, IoPurpose::Recovery).unwrap();
+        d.erase_block(BlockId(5), IoPurpose::GcMigrateUser).unwrap();
+        // 1000 + 100 + 3 + 2000 µs
+        assert!((d.clock().now_us() - 3103.0).abs() < 1e-9);
+        assert_eq!(d.stats().counts(IoPurpose::UserWrite).page_writes, 1);
+        assert_eq!(d.stats().counts(IoPurpose::UserRead).page_reads, 1);
+        assert_eq!(d.stats().counts(IoPurpose::Recovery).spare_reads, 1);
+        assert_eq!(d.stats().counts(IoPurpose::GcMigrateUser).erases, 1);
+    }
+
+    #[test]
+    fn erase_budget_enforced() {
+        let mut d = dev();
+        d.set_erase_budget(Some(1));
+        d.erase_block(BlockId(0), IoPurpose::WearLevel).unwrap();
+        assert_eq!(
+            d.erase_block(BlockId(0), IoPurpose::WearLevel),
+            Err(FlashError::BlockWornOut(BlockId(0)))
+        );
+    }
+
+    #[test]
+    fn out_of_range_addresses_rejected() {
+        let mut d = dev();
+        let total = d.geometry().total_pages() as u32;
+        assert!(matches!(
+            d.read_page(Ppn(total), IoPurpose::UserRead),
+            Err(FlashError::OutOfRange(p)) if p == Ppn(total)
+        ));
+        assert_eq!(
+            d.erase_block(BlockId(64), IoPurpose::GcMigrateUser),
+            Err(FlashError::BlockOutOfRange(BlockId(64)))
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! Error type for device operations.
+
+use crate::geometry::{BlockId, Ppn};
+use std::fmt;
+
+/// Convenience alias for device results.
+pub type Result<T> = std::result::Result<T, FlashError>;
+
+/// Ways a device operation can fail. These model *firmware bugs*: a correct
+/// FTL never triggers them, and the simulator surfaces them loudly instead of
+/// silently corrupting state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlashError {
+    /// Write issued to a block whose write pointer has reached the end.
+    BlockFull(BlockId),
+    /// Read of a page that has not been programmed since the last erase.
+    PageNotWritten(Ppn),
+    /// Address outside the device geometry.
+    OutOfRange(Ppn),
+    /// Block id outside the device geometry.
+    BlockOutOfRange(BlockId),
+    /// The device has worn out this block past its configured erase budget
+    /// (only reported when an erase budget is configured).
+    BlockWornOut(BlockId),
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::BlockFull(b) => write!(f, "write to full block {b:?}"),
+            FlashError::PageNotWritten(p) => write!(f, "read of unwritten page {p:?}"),
+            FlashError::OutOfRange(p) => write!(f, "page address {p:?} out of range"),
+            FlashError::BlockOutOfRange(b) => write!(f, "block address {b:?} out of range"),
+            FlashError::BlockWornOut(b) => write!(f, "block {b:?} exceeded its erase budget"),
+        }
+    }
+}
+
+impl std::error::Error for FlashError {}

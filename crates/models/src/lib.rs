@@ -1,0 +1,71 @@
+//! # ftl-models
+//!
+//! Closed-form models of integrated-RAM requirements and recovery times for
+//! the five FTLs of the paper's evaluation. The paper produces Figure 1 and
+//! the top/middle panels of Figure 13 from exactly such models ("we modeled
+//! the sizes of their different data structures using the formulas in
+//! Section 2 and Appendix B", "we modeled the number and types of flash IOs
+//! ... needed to recover") — simulating a 2 TB device page-by-page is
+//! neither necessary nor what the authors did.
+//!
+//! All models take a [`flash_sim::Geometry`] plus the cache size `C`, so the
+//! same code produces the paper-scale numbers and the scaled-down
+//! configurations used by the simulations (where the empirical
+//! `FtlEngine::ram_report` can be cross-checked against them).
+
+pub mod ram;
+pub mod recovery;
+pub mod sweep;
+
+pub use ram::{ram_model, RamComponent, RamModel};
+pub use recovery::{recovery_model, RecoveryComponent, RecoveryModel};
+pub use sweep::{capacity_sweep, CapacityPoint};
+
+/// The latencies every model uses (paper §5.3): spare read 3 µs, page read
+/// 100 µs, page write 1 ms.
+pub fn paper_latencies() -> flash_sim::LatencyModel {
+    flash_sim::LatencyModel::paper()
+}
+
+/// The five FTLs, re-exported for model consumers that do not want to link
+/// the simulation crates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FtlName {
+    /// DFTL (RAM PVB, battery).
+    Dftl,
+    /// LazyFTL (RAM PVB, restricted dirty entries).
+    LazyFtl,
+    /// µ-FTL (flash PVB, battery).
+    MuFtl,
+    /// IB-FTL (page validity log, restricted dirty entries).
+    IbFtl,
+    /// GeckoFTL (Logarithmic Gecko, checkpoints + deferred sync).
+    GeckoFtl,
+}
+
+impl FtlName {
+    /// All FTLs in the paper's presentation order.
+    pub const ALL: [FtlName; 5] = [
+        FtlName::Dftl,
+        FtlName::LazyFtl,
+        FtlName::MuFtl,
+        FtlName::IbFtl,
+        FtlName::GeckoFtl,
+    ];
+
+    /// Display name used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            FtlName::Dftl => "DFTL",
+            FtlName::LazyFtl => "LazyFTL",
+            FtlName::MuFtl => "u-FTL",
+            FtlName::IbFtl => "IB-FTL",
+            FtlName::GeckoFtl => "GeckoFTL",
+        }
+    }
+
+    /// Whether the FTL needs a battery (annotated in Figure 13).
+    pub fn needs_battery(self) -> bool {
+        matches!(self, FtlName::Dftl | FtlName::MuFtl)
+    }
+}

@@ -1,0 +1,14 @@
+//! # ftl-workloads
+//!
+//! Workload generators for FTL experiments. The paper's evaluation uses
+//! uniformly random page updates as its adversarial workload (§5.1: it
+//! minimizes the coalescing Gecko's buffer can do and is fair to the
+//! workload-insensitive PVB); this crate also provides sequential, zipfian
+//! and hot/cold generators plus mixed read/write streams and trace
+//! record/replay for broader experiments and ablations.
+
+pub mod generators;
+pub mod trace;
+
+pub use generators::{HotCold, Mixed, Sequential, Uniform, WorkloadOp, Zipfian};
+pub use trace::Trace;

@@ -1,0 +1,123 @@
+//! Operation-trace record & replay: capture a generated workload once and
+//! replay it bit-identically against several FTLs, so comparative
+//! experiments (Figure 13/14) feed every system the exact same stream.
+
+use crate::generators::WorkloadOp;
+use flash_sim::Lpn;
+
+/// A recorded operation stream.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    ops: Vec<WorkloadOp>,
+}
+
+impl Trace {
+    /// Record `n` operations from a generator.
+    pub fn record(gen: impl Iterator<Item = WorkloadOp>, n: usize) -> Self {
+        Trace { ops: gen.take(n).collect() }
+    }
+
+    /// Build a trace from explicit operations.
+    pub fn from_ops(ops: Vec<WorkloadOp>) -> Self {
+        Trace { ops }
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Number of writes in the trace.
+    pub fn writes(&self) -> usize {
+        self.ops.iter().filter(|o| matches!(o, WorkloadOp::Write(_))).count()
+    }
+
+    /// Iterate the operations.
+    pub fn iter(&self) -> impl Iterator<Item = WorkloadOp> + '_ {
+        self.ops.iter().copied()
+    }
+
+    /// Serialize to a compact text form (one op per line: `W <lpn>` or
+    /// `R <lpn>`), e.g. for saving alongside experiment results.
+    pub fn to_text(&self) -> String {
+        let mut s = String::with_capacity(self.ops.len() * 8);
+        for op in &self.ops {
+            match op {
+                WorkloadOp::Write(l) => s.push_str(&format!("W {}\n", l.0)),
+                WorkloadOp::Read(l) => s.push_str(&format!("R {}\n", l.0)),
+            }
+        }
+        s
+    }
+
+    /// Parse the text form produced by [`Trace::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let mut ops = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            let (kind, lpn) = line
+                .split_once(' ')
+                .ok_or_else(|| format!("line {}: expected '<W|R> <lpn>'", i + 1))?;
+            let lpn: u32 = lpn.parse().map_err(|e| format!("line {}: {e}", i + 1))?;
+            match kind {
+                "W" => ops.push(WorkloadOp::Write(Lpn(lpn))),
+                "R" => ops.push(WorkloadOp::Read(Lpn(lpn))),
+                other => return Err(format!("line {}: unknown op '{other}'", i + 1)),
+            }
+        }
+        Ok(Trace { ops })
+    }
+}
+
+impl<'a> IntoIterator for &'a Trace {
+    type Item = WorkloadOp;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, WorkloadOp>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.ops.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::Uniform;
+
+    #[test]
+    fn record_and_replay_are_identical() {
+        let t1 = Trace::record(Uniform::new(11, 64), 500);
+        let t2 = Trace::record(Uniform::new(11, 64), 500);
+        assert_eq!(t1, t2);
+        assert_eq!(t1.len(), 500);
+        assert_eq!(t1.writes(), 500);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let t = Trace::from_ops(vec![
+            WorkloadOp::Write(Lpn(3)),
+            WorkloadOp::Read(Lpn(9)),
+            WorkloadOp::Write(Lpn(0)),
+        ]);
+        let text = t.to_text();
+        assert_eq!(text, "W 3\nR 9\nW 0\n");
+        assert_eq!(Trace::from_text(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn text_parse_errors_are_reported() {
+        assert!(Trace::from_text("X 1").is_err());
+        assert!(Trace::from_text("W abc").is_err());
+        assert!(Trace::from_text("W").is_err());
+        // Blank lines are fine.
+        assert_eq!(Trace::from_text("\nW 1\n\n").unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests for the engine's supporting components: the LRU mapping
+//! cache against a reference model, and the flash-resident translation
+//! table against a plain map under arbitrary synchronization sequences.
+
+use geckoftl::flash_sim::{FlashDevice, Geometry, IoPurpose, Lpn, Ppn};
+use geckoftl::geckoftl_core::cache::{CacheEntry, MappingCache};
+use geckoftl::geckoftl_core::ftl::BlockManager;
+use geckoftl::geckoftl_core::translation::TranslationTable;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Copy, Debug)]
+enum CacheOp {
+    Insert(u32, u32, bool),
+    Promote(u32),
+    Remove(u32),
+    PopLru,
+    MarkClean(u32),
+}
+
+fn cache_op() -> impl Strategy<Value = CacheOp> {
+    prop_oneof![
+        4 => (0u32..64, 0u32..1000, any::<bool>()).prop_map(|(l, p, d)| CacheOp::Insert(l, p, d)),
+        2 => (0u32..64).prop_map(CacheOp::Promote),
+        1 => (0u32..64).prop_map(CacheOp::Remove),
+        1 => Just(CacheOp::PopLru),
+        1 => (0u32..64).prop_map(CacheOp::MarkClean),
+    ]
+}
+
+/// Reference model: a Vec in LRU order (front = LRU) plus entry data.
+#[derive(Default)]
+struct LruModel {
+    order: Vec<u32>,
+    data: HashMap<u32, (u32, bool)>, // lpn -> (ppn, dirty)
+}
+
+impl LruModel {
+    fn touch(&mut self, lpn: u32) {
+        self.order.retain(|l| *l != lpn);
+        self.order.push(lpn);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn mapping_cache_matches_lru_model(ops in prop::collection::vec(cache_op(), 1..300)) {
+        let capacity = 16;
+        let mut cache = MappingCache::new(capacity);
+        let mut model = LruModel::default();
+
+        for op in ops {
+            match op {
+                CacheOp::Insert(lpn, ppn, dirty) => {
+                    if model.data.contains_key(&lpn) {
+                        continue; // cache forbids duplicate inserts
+                    }
+                    if model.data.len() == capacity {
+                        // evict LRU in both
+                        let victim = model.order.remove(0);
+                        model.data.remove(&victim);
+                        let popped = cache.pop_lru().expect("full cache pops");
+                        prop_assert_eq!(popped.lpn, Lpn(victim));
+                    }
+                    cache.insert(CacheEntry {
+                        lpn: Lpn(lpn),
+                        ppn: Ppn(ppn),
+                        dirty,
+                        uip: false,
+                        uncertain: false,
+                        written_epoch: 0,
+                    });
+                    model.data.insert(lpn, (ppn, dirty));
+                    model.touch(lpn);
+                }
+                CacheOp::Promote(lpn) => {
+                    cache.promote(Lpn(lpn));
+                    if model.data.contains_key(&lpn) {
+                        model.touch(lpn);
+                    }
+                }
+                CacheOp::Remove(lpn) => {
+                    let got = cache.remove(Lpn(lpn));
+                    let want = model.data.remove(&lpn);
+                    model.order.retain(|l| *l != lpn);
+                    prop_assert_eq!(got.map(|e| (e.ppn.0, e.dirty)), want);
+                }
+                CacheOp::PopLru => {
+                    let got = cache.pop_lru();
+                    if model.order.is_empty() {
+                        prop_assert!(got.is_none());
+                    } else {
+                        let victim = model.order.remove(0);
+                        model.data.remove(&victim);
+                        prop_assert_eq!(got.expect("nonempty").lpn, Lpn(victim));
+                    }
+                }
+                CacheOp::MarkClean(lpn) => {
+                    cache.update_entry(Lpn(lpn), |e| e.dirty = false);
+                    if let Some(v) = model.data.get_mut(&lpn) {
+                        v.1 = false;
+                    }
+                }
+            }
+            // Invariants after every op.
+            prop_assert_eq!(cache.len(), model.data.len());
+            let dirty_model = model.data.values().filter(|(_, d)| *d).count();
+            prop_assert_eq!(cache.dirty_count(), dirty_model);
+            let order: Vec<u32> = cache.iter_lru_order().map(|e| e.lpn.0).collect();
+            prop_assert_eq!(&order, &model.order);
+        }
+    }
+
+    #[test]
+    fn translation_table_matches_map_model(
+        batches in prop::collection::vec(
+            prop::collection::vec((0u32..716, 1u32..100_000), 1..12),
+            1..40,
+        ),
+    ) {
+        let geo = Geometry::tiny();
+        let mut dev = FlashDevice::new(geo);
+        let mut bm = BlockManager::new(geo);
+        let mut tt = TranslationTable::new(geo);
+        tt.format(&mut dev, &mut bm);
+        let mut model: HashMap<u32, u32> = HashMap::new();
+
+        for batch in batches {
+            // Deduplicate lpns within a batch (a sync has one value per lpn)
+            // and skip no-op updates (engine never syncs an unchanged value).
+            let mut updates: Vec<(Lpn, Ppn)> = Vec::new();
+            let mut seen = std::collections::HashSet::new();
+            for (lpn, ppn) in batch {
+                if seen.insert(lpn) && model.get(&lpn) != Some(&ppn) {
+                    updates.push((Lpn(lpn), Ppn(ppn)));
+                }
+            }
+            if updates.is_empty() {
+                continue;
+            }
+            let before: Vec<Option<u32>> =
+                updates.iter().map(|(l, _)| model.get(&l.0).copied()).collect();
+            let outcome = tt.synchronize(&mut dev, &mut bm, 0, &updates, false);
+            // Before-images reported by the table equal the model's priors.
+            prop_assert_eq!(outcome.before_images.len(), updates.len());
+            for (((lpn, new), (got_lpn, got_before)), want_before) in
+                updates.iter().zip(&outcome.before_images).zip(before)
+            {
+                prop_assert_eq!(lpn, got_lpn);
+                prop_assert_eq!(got_before.map(|p| p.0), want_before);
+                model.insert(lpn.0, new.0);
+            }
+        }
+        // Final lookups agree with the model for every lpn.
+        for lpn in 0..716u32 {
+            let got = tt.lookup(&mut dev, Lpn(lpn), IoPurpose::TranslationFetch);
+            prop_assert_eq!(got.map(|p| p.0), model.get(&lpn).copied());
+        }
+    }
+}

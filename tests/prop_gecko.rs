@@ -1,0 +1,163 @@
+//! Property-based tests (proptest) for Logarithmic Gecko: for *any*
+//! sequence of invalidations and erases, under *any* tuning, the structure
+//! answers GC queries exactly like a plain RAM bitmap (DESIGN.md
+//! invariant 1), and its structural invariants hold.
+
+use geckoftl::flash_sim::{BlockId, FlashDevice, Geometry, Ppn};
+use geckoftl::geckoftl_core::gecko::{GeckoConfig, LogGecko};
+use geckoftl::geckoftl_core::validity::FlatMetaSink;
+use proptest::prelude::*;
+
+/// Abstract operations over the user blocks 0..32 of the tiny geometry.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Invalidate(u32), // page in 0..512 (32 blocks × 16 pages)
+    Erase(u32),      // block in 0..32
+    Query(u32),      // block in 0..32
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (0u32..512).prop_map(Op::Invalidate),
+        1 => (0u32..32).prop_map(Op::Erase),
+        1 => (0u32..32).prop_map(Op::Query),
+    ]
+}
+
+/// Reference model: exact per-block invalid flags.
+#[derive(Default)]
+struct Model {
+    invalid: std::collections::HashMap<u32, Vec<bool>>,
+}
+
+fn check_all_blocks(
+    gecko: &mut LogGecko,
+    dev: &mut FlashDevice,
+    model: &Model,
+    geo: &Geometry,
+) {
+    for b in 0..32u32 {
+        let got = gecko.gc_query(dev, BlockId(b));
+        let want = model.invalid.get(&b);
+        for i in 0..geo.pages_per_block {
+            let w = want.is_some_and(|v| v[i as usize]);
+            assert_eq!(got.get(i), w, "block {b} bit {i}");
+        }
+    }
+}
+
+fn run_case(ops: &[Op], size_ratio: u32, partitions: u32, multiway: bool, header: u32) {
+    let geo = Geometry::tiny();
+    let mut dev = FlashDevice::new(geo);
+    let mut sink = FlatMetaSink::new((32..64).map(BlockId).collect());
+    let cfg = GeckoConfig {
+        size_ratio,
+        partitions,
+        multiway_merge: multiway,
+        key_bytes: 4,
+        page_header_bytes: header,
+    };
+    let mut gecko = LogGecko::new(geo, cfg);
+    let mut model = Model::default();
+    let b = geo.pages_per_block as usize;
+
+    for op in ops {
+        match *op {
+            Op::Invalidate(p) => {
+                gecko.mark_invalid(&mut dev, &mut sink, Ppn(p));
+                model.invalid.entry(p / 16).or_insert_with(|| vec![false; b])[(p % 16) as usize] =
+                    true;
+            }
+            Op::Erase(blk) => {
+                gecko.note_erase(&mut dev, &mut sink, BlockId(blk));
+                model.invalid.insert(blk, vec![false; b]);
+            }
+            Op::Query(blk) => {
+                let got = gecko.gc_query(&mut dev, BlockId(blk));
+                let want = model.invalid.get(&blk);
+                for i in 0..geo.pages_per_block {
+                    let w = want.is_some_and(|v| v[i as usize]);
+                    assert_eq!(got.get(i), w, "mid-run query: block {blk} bit {i}");
+                }
+            }
+        }
+        // Structural invariant: each level holds at most one settled run.
+        for (lvl, count) in gecko
+            .runs_newest_first()
+            .fold(std::collections::HashMap::new(), |mut m, r| {
+                *m.entry(r.meta.level).or_insert(0u32) += 1;
+                m
+            })
+        {
+            assert!(count <= 1, "level {lvl} holds {count} runs");
+        }
+    }
+    check_all_blocks(&mut gecko, &mut dev, &model, &geo);
+
+    // Space bound: live entries never exceed ~2× the key universe + slack.
+    let max_live = 32 * partitions as u64;
+    assert!(
+        gecko.total_run_entries() <= 3 * max_live + 64,
+        "space amplification blown: {} entries for {} keys",
+        gecko.total_run_entries(),
+        max_live
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn gecko_matches_bitmap_model_default_tuning(ops in prop::collection::vec(op_strategy(), 1..600)) {
+        // Small pages (large header) so flushes and merges actually happen.
+        run_case(&ops, 2, 1, true, 4096 - 64);
+    }
+
+    #[test]
+    fn gecko_matches_bitmap_model_any_tuning(
+        ops in prop::collection::vec(op_strategy(), 1..400),
+        t in 2u32..6,
+        s_pow in 0u32..5,      // S ∈ {1,2,4,8,16}, all divide B=16
+        multiway in any::<bool>(),
+    ) {
+        let s = 1 << s_pow;
+        run_case(&ops, t, s.min(16), multiway, 4096 - 96);
+    }
+
+    #[test]
+    fn recovered_runs_answer_like_the_original(
+        ops in prop::collection::vec(op_strategy(), 50..400),
+    ) {
+        let geo = Geometry::tiny();
+        let mut dev = FlashDevice::new(geo);
+        let mut sink = FlatMetaSink::new((32..64).map(BlockId).collect());
+        let cfg = GeckoConfig {
+            size_ratio: 2,
+            partitions: 1,
+            multiway_merge: true,
+            key_bytes: 4,
+            page_header_bytes: 4096 - 64,
+        };
+        let mut gecko = LogGecko::new(geo, cfg);
+        let mut model = Model::default();
+        let b = geo.pages_per_block as usize;
+        for op in &ops {
+            match *op {
+                Op::Invalidate(p) => {
+                    gecko.mark_invalid(&mut dev, &mut sink, Ppn(p));
+                    model.invalid.entry(p / 16).or_insert_with(|| vec![false; b])[(p % 16) as usize] = true;
+                }
+                Op::Erase(blk) => {
+                    gecko.note_erase(&mut dev, &mut sink, BlockId(blk));
+                    model.invalid.insert(blk, vec![false; b]);
+                }
+                Op::Query(_) => {}
+            }
+        }
+        // Persist the buffer, rebuild from the recovered run set, compare.
+        gecko.flush(&mut dev, &mut sink);
+        let runs: Vec<_> = gecko.runs_newest_first().cloned().collect();
+        let mut rebuilt = LogGecko::from_recovered(geo, cfg, runs);
+        check_all_blocks(&mut rebuilt, &mut dev, &model, &geo);
+    }
+}
