@@ -74,13 +74,17 @@ impl BaselineKind {
 
 /// Build an FTL of the given kind with paper-scaled defaults for `geo`.
 pub fn build(kind: BaselineKind, geo: Geometry) -> FtlEngine {
-    build_with(kind, geo, FtlConfig {
-        cache_entries: FtlConfig::scaled_cache_entries(&geo),
-        gc_free_threshold: 8,
-        gc_policy: kind.gc_policy(),
-        recovery: kind.recovery_policy(),
-        checkpoint_period: None,
-    })
+    build_with(
+        kind,
+        geo,
+        FtlConfig {
+            cache_entries: FtlConfig::scaled_cache_entries(&geo),
+            gc_free_threshold: 8,
+            gc_policy: kind.gc_policy(),
+            recovery: kind.recovery_policy(),
+            checkpoint_period: None,
+        },
+    )
 }
 
 /// Build an FTL of the given kind with an explicit engine configuration

@@ -23,6 +23,6 @@ pub mod pvl;
 pub mod restart;
 
 pub use ftls::{build, build_with, BaselineKind};
-pub use restart::restart_clean;
 pub use pvb::{FlashPvb, RamPvb};
 pub use pvl::PvlStore;
+pub use restart::restart_clean;

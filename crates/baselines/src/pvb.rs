@@ -24,7 +24,10 @@ impl RamPvb {
     /// An all-valid bitmap for a device geometry.
     pub fn new(geo: Geometry) -> Self {
         let bits = geo.total_pages();
-        RamPvb { geo, words: vec![0; bits.div_ceil(64) as usize] }
+        RamPvb {
+            geo,
+            words: vec![0; bits.div_ceil(64) as usize],
+        }
     }
 
     fn set(&mut self, ppn: Ppn) {
@@ -58,7 +61,12 @@ impl ValidityStore for RamPvb {
         self.clear_block(block);
     }
 
-    fn gc_query(&mut self, _dev: &mut FlashDevice, _sink: &mut dyn MetaSink, block: BlockId) -> Bitmap {
+    fn gc_query(
+        &mut self,
+        _dev: &mut FlashDevice,
+        _sink: &mut dyn MetaSink,
+        block: BlockId,
+    ) -> Bitmap {
         let b = self.geo.pages_per_block;
         let mut bm = Bitmap::new(b);
         for off in 0..b {
@@ -116,7 +124,10 @@ impl FlashPvb {
             directory: vec![None; segments as usize],
         };
         for seg in 0..segments {
-            let payload = PvbPagePayload { segment: seg, words: store.blank_segment() };
+            let payload = PvbPagePayload {
+                segment: seg,
+                words: store.blank_segment(),
+            };
             let ppn = sink.append_meta(
                 dev,
                 MetaKind::Pvb,
@@ -140,7 +151,11 @@ impl FlashPvb {
             geo.blocks.div_ceil(blocks_per_segment),
             "recovered directory has the wrong segment count"
         );
-        FlashPvb { geo, blocks_per_segment, directory }
+        FlashPvb {
+            geo,
+            blocks_per_segment,
+            directory,
+        }
     }
 
     fn blank_segment(&self) -> Vec<u64> {
@@ -186,7 +201,10 @@ impl FlashPvb {
             dev,
             MetaKind::Pvb,
             seg as u64,
-            PageData::blob_of(PvbPagePayload { segment: seg, words }),
+            PageData::blob_of(PvbPagePayload {
+                segment: seg,
+                words,
+            }),
             IoPurpose::ValidityUpdate,
         );
         self.directory[seg as usize] = Some(ppn);
@@ -222,7 +240,12 @@ impl ValidityStore for FlashPvb {
         });
     }
 
-    fn gc_query(&mut self, dev: &mut FlashDevice, _sink: &mut dyn MetaSink, block: BlockId) -> Bitmap {
+    fn gc_query(
+        &mut self,
+        dev: &mut FlashDevice,
+        _sink: &mut dyn MetaSink,
+        block: BlockId,
+    ) -> Bitmap {
         let seg = self.segment_of(block);
         let words = self.read_segment(dev, seg, IoPurpose::ValidityQuery);
         let b = self.geo.pages_per_block;
@@ -249,27 +272,41 @@ impl ValidityStore for FlashPvb {
         Some(MetaKind::Pvb)
     }
 
-    fn collect_meta_block(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, block: BlockId) {
+    fn collect_meta_block(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+        block: BlockId,
+    ) {
         // Migrate the segments whose current page sits in this block.
         let live: Vec<u32> = self
             .directory
             .iter()
             .enumerate()
             .filter_map(|(seg, loc)| {
-                loc.filter(|p| self.geo.block_of(*p) == block).map(|_| seg as u32)
+                loc.filter(|p| self.geo.block_of(*p) == block)
+                    .map(|_| seg as u32)
             })
             .collect();
         for seg in live {
             let loc = self.directory[seg as usize].expect("live segment");
             let words = {
-                let data = dev.read_page(loc, IoPurpose::ValidityGc).expect("live pvb page");
-                data.blob::<PvbPagePayload>().expect("pvb payload").words.clone()
+                let data = dev
+                    .read_page(loc, IoPurpose::ValidityGc)
+                    .expect("live pvb page");
+                data.blob::<PvbPagePayload>()
+                    .expect("pvb payload")
+                    .words
+                    .clone()
             };
             let ppn = sink.append_meta(
                 dev,
                 MetaKind::Pvb,
                 seg as u64,
-                PageData::blob_of(PvbPagePayload { segment: seg, words }),
+                PageData::blob_of(PvbPagePayload {
+                    segment: seg,
+                    words,
+                }),
                 IoPurpose::ValidityGc,
             );
             self.directory[seg as usize] = Some(ppn);
@@ -352,7 +389,11 @@ mod tests {
         assert_eq!(pvb.segments(), 1);
         // µ-FTL's defining cost: every update is its own read-modify-write.
         let before = dev.stats().counts(IoPurpose::ValidityUpdate);
-        pvb.mark_invalid_batch(&mut dev, &mut sink, &[Ppn(1), Ppn(2), Ppn(30), Ppn(99), Ppn(100)]);
+        pvb.mark_invalid_batch(
+            &mut dev,
+            &mut sink,
+            &[Ppn(1), Ppn(2), Ppn(30), Ppn(99), Ppn(100)],
+        );
         let after = dev.stats().counts(IoPurpose::ValidityUpdate);
         assert_eq!(after.page_writes - before.page_writes, 5);
         assert!(pvb.gc_query(&mut dev, &mut sink, BlockId(6)).get(3)); // page 99

@@ -146,7 +146,10 @@ impl PvlStore {
         let entries = std::mem::take(&mut self.buffer);
         self.flash_entries += entries.len() as u64;
         for e in &entries {
-            self.chains.entry(self.geo.block_of(e.ppn)).or_default().insert(index);
+            self.chains
+                .entry(self.geo.block_of(e.ppn))
+                .or_default()
+                .insert(index);
         }
         let ppn = sink.append_meta(
             dev,
@@ -212,7 +215,12 @@ impl ValidityStore for PvlStore {
         self.buffer.retain(|e| self.geo.block_of(e.ppn) != block);
     }
 
-    fn gc_query(&mut self, dev: &mut FlashDevice, _sink: &mut dyn MetaSink, block: BlockId) -> Bitmap {
+    fn gc_query(
+        &mut self,
+        dev: &mut FlashDevice,
+        _sink: &mut dyn MetaSink,
+        block: BlockId,
+    ) -> Bitmap {
         let b = self.geo.pages_per_block;
         let mut bm = Bitmap::new(b);
         let erase_ts = self.erase_ts[block.0 as usize];
@@ -221,11 +229,15 @@ impl ValidityStore for PvlStore {
                 bm.set(self.geo.offset_of(e.ppn).0);
             }
         }
-        let Some(chain) = self.chains.get(&block) else { return bm };
+        let Some(chain) = self.chains.get(&block) else {
+            return bm;
+        };
         let page_of: HashMap<u64, Ppn> = self.pages.iter().copied().collect();
         for index in chain.iter().rev() {
             let ppn = page_of[index];
-            let data = dev.read_page(ppn, IoPurpose::ValidityQuery).expect("log page readable");
+            let data = dev
+                .read_page(ppn, IoPurpose::ValidityQuery)
+                .expect("log page readable");
             let payload = data.blob::<PvlPagePayload>().expect("pvl payload");
             for e in &payload.entries {
                 if self.geo.block_of(e.ppn) == block && e.ts > erase_ts {
@@ -287,14 +299,21 @@ mod tests {
         pvl.mark_invalid(&mut dev, &mut sink, Ppn(16));
         geckoftl_core::validity::ValidityStore::flush(&mut pvl, &mut dev, &mut sink);
         pvl.note_erase(&mut dev, &mut sink, BlockId(1));
-        dev.erase_block(BlockId(1), IoPurpose::GcMigrateUser).unwrap();
+        dev.erase_block(BlockId(1), IoPurpose::GcMigrateUser)
+            .unwrap();
         assert!(pvl.gc_query(&mut dev, &mut sink, BlockId(1)).is_empty());
         // A page must be rewritten (advancing the device clock) before it
         // can become invalid again; such invalidations are visible.
         dev.write_page(
             BlockId(1),
-            PageData::User { lpn: flash_sim::Lpn(9), version: 1 },
-            flash_sim::SpareInfo::User { lpn: flash_sim::Lpn(9), before: None },
+            PageData::User {
+                lpn: flash_sim::Lpn(9),
+                version: 1,
+            },
+            flash_sim::SpareInfo::User {
+                lpn: flash_sim::Lpn(9),
+                before: None,
+            },
             IoPurpose::UserWrite,
         )
         .unwrap();

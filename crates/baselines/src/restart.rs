@@ -18,11 +18,11 @@
 use crate::ftls::BaselineKind;
 use crate::pvb::{FlashPvb, RamPvb};
 use crate::pvl::PvlStore;
-use flash_sim::{
-    FlashDevice, IoPurpose, MetaKind, PageOffset, Ppn, SpareInfo,
-};
+use flash_sim::{FlashDevice, IoPurpose, MetaKind, PageOffset, Ppn, SpareInfo};
 use geckoftl_core::cache::MappingCache;
-use geckoftl_core::ftl::{BlockGroup, BlockManager, BlockState, FtlConfig, FtlEngine, ValidityBackend};
+use geckoftl_core::ftl::{
+    BlockGroup, BlockManager, BlockState, FtlConfig, FtlEngine, ValidityBackend,
+};
 use geckoftl_core::translation::TranslationTable;
 use geckoftl_core::validity::ValidityStore;
 
@@ -41,8 +41,7 @@ pub fn restart_clean(kind: BaselineKind, mut dev: FlashDevice, cfg: FtlConfig) -
     // Classify blocks and find translation-page versions (one spare read
     // per block + one per translation page, as in GeckoRec steps 1–2).
     let mut state = vec![BlockState::Free; geo.blocks as usize];
-    let mut tpage_versions: Vec<Option<(u64, Ppn)>> =
-        vec![None; geo.translation_pages() as usize];
+    let mut tpage_versions: Vec<Option<(u64, Ppn)>> = vec![None; geo.translation_pages() as usize];
     let mut pvb_segments: Vec<Option<(u64, Ppn)>> = Vec::new();
     let mut pvl_pages: Vec<(u64, Ppn)> = Vec::new();
     for b in geo.iter_blocks() {
@@ -50,7 +49,9 @@ pub fn restart_clean(kind: BaselineKind, mut dev: FlashDevice, cfg: FtlConfig) -
         if written == 0 {
             continue;
         }
-        let first = dev.read_spare(geo.first_page(b), IoPurpose::Recovery).expect("written");
+        let first = dev
+            .read_spare(geo.first_page(b), IoPurpose::Recovery)
+            .expect("written");
         let group = match first.info {
             SpareInfo::User { .. } => BlockGroup::User,
             SpareInfo::Translation { .. } => BlockGroup::Translation,
@@ -70,7 +71,10 @@ pub fn restart_clean(kind: BaselineKind, mut dev: FlashDevice, cfg: FtlConfig) -
                         *slot = Some((spare.seq, ppn));
                     }
                 }
-                SpareInfo::Meta { kind: MetaKind::Pvb, tag } => {
+                SpareInfo::Meta {
+                    kind: MetaKind::Pvb,
+                    tag,
+                } => {
                     let tag = tag as usize;
                     if pvb_segments.len() <= tag {
                         pvb_segments.resize(tag + 1, None);
@@ -79,7 +83,10 @@ pub fn restart_clean(kind: BaselineKind, mut dev: FlashDevice, cfg: FtlConfig) -
                         pvb_segments[tag] = Some((spare.seq, ppn));
                     }
                 }
-                SpareInfo::Meta { kind: MetaKind::Pvl, tag } => pvl_pages.push((tag, ppn)),
+                SpareInfo::Meta {
+                    kind: MetaKind::Pvl,
+                    tag,
+                } => pvl_pages.push((tag, ppn)),
                 _ => {}
             }
         }
@@ -89,9 +96,7 @@ pub fn restart_clean(kind: BaselineKind, mut dev: FlashDevice, cfg: FtlConfig) -
 
     // Rebuild the validity store.
     let backend: Box<dyn ValidityStore> = match kind {
-        BaselineKind::Dftl | BaselineKind::LazyFtl => {
-            Box::new(rebuild_ram_pvb(&mut dev, &tt))
-        }
+        BaselineKind::Dftl | BaselineKind::LazyFtl => Box::new(rebuild_ram_pvb(&mut dev, &tt)),
         BaselineKind::MuFtl => Box::new(FlashPvb::assemble(
             geo,
             pvb_segments.iter().map(|v| v.map(|(_, p)| p)).collect(),
@@ -194,7 +199,9 @@ mod tests {
         let logical = geo.logical_pages() as u32;
         let mut x = 9u64;
         for i in 0..3000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lpn = ((x >> 33) % logical as u64) as u32;
             engine.write(Lpn(lpn), i);
             oracle.insert(lpn, i);
@@ -204,17 +211,29 @@ mod tests {
         let dev = engine.crash();
         let mut restarted = restart_clean(kind, dev, cfg);
         for (&lpn, &want) in &oracle {
-            assert_eq!(restarted.read(Lpn(lpn)), Some(want), "{}: L{lpn}", kind.name());
+            assert_eq!(
+                restarted.read(Lpn(lpn)),
+                Some(want),
+                "{}: L{lpn}",
+                kind.name()
+            );
         }
         // Keep operating (GC keeps working on the rebuilt BVC/validity).
         for i in 0..2000u64 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let lpn = ((x >> 33) % logical as u64) as u32;
             restarted.write(Lpn(lpn), 10_000 + i);
             oracle.insert(lpn, 10_000 + i);
         }
         for (&lpn, &want) in &oracle {
-            assert_eq!(restarted.read(Lpn(lpn)), Some(want), "{}: post L{lpn}", kind.name());
+            assert_eq!(
+                restarted.read(Lpn(lpn)),
+                Some(want),
+                "{}: post L{lpn}",
+                kind.name()
+            );
         }
     }
 

@@ -8,7 +8,10 @@ use std::collections::HashMap;
 struct Lcg(u64);
 impl Lcg {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 33
     }
 }
@@ -33,7 +36,11 @@ fn exercise(kind: BaselineKind) {
             );
         }
     }
-    assert!(engine.counters.gc_operations > 10, "{}: GC must run", kind.name());
+    assert!(
+        engine.counters.gc_operations > 10,
+        "{}: GC must run",
+        kind.name()
+    );
     for lpn in 0..logical {
         assert_eq!(
             engine.read(Lpn(lpn)),
@@ -74,7 +81,11 @@ fn validity_wa_ordering_matches_table_1() {
     // Steady-state validity-metadata WA: RAM PVB < Gecko < flash PVB.
     let geo = Geometry::tiny();
     let mut wa = HashMap::new();
-    for kind in [BaselineKind::Dftl, BaselineKind::GeckoFtl, BaselineKind::MuFtl] {
+    for kind in [
+        BaselineKind::Dftl,
+        BaselineKind::GeckoFtl,
+        BaselineKind::MuFtl,
+    ] {
         let mut engine = build(kind, geo);
         let mut rng = Lcg(99);
         let logical = geo.logical_pages() as u32;
@@ -92,8 +103,14 @@ fn validity_wa_ordering_matches_table_1() {
     let ram = wa[&BaselineKind::Dftl];
     let gecko = wa[&BaselineKind::GeckoFtl];
     let flash = wa[&BaselineKind::MuFtl];
-    assert!(ram < gecko, "RAM PVB ({ram:.3}) must beat Gecko ({gecko:.3}) on IO");
-    assert!(gecko < flash, "Gecko ({gecko:.3}) must beat flash PVB ({flash:.3})");
+    assert!(
+        ram < gecko,
+        "RAM PVB ({ram:.3}) must beat Gecko ({gecko:.3}) on IO"
+    );
+    assert!(
+        gecko < flash,
+        "Gecko ({gecko:.3}) must beat flash PVB ({flash:.3})"
+    );
     assert!(flash > 0.9, "flash PVB WA ≈ 1 + 1/δ, got {flash:.3}");
 }
 

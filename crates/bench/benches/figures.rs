@@ -60,7 +60,11 @@ fn fig09(c: &mut Criterion) {
         "fig09_update_gecko_t2",
         build_geckoftl_tuned(
             geo,
-            cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::CheckpointDeferred),
+            cfg(
+                &geo,
+                GcPolicy::MetadataAware,
+                RecoveryPolicy::CheckpointDeferred,
+            ),
             GeckoConfig::paper_default(&geo),
         ),
         1,
@@ -68,7 +72,11 @@ fn fig09(c: &mut Criterion) {
     bench_update(
         c,
         "fig09_update_flash_pvb",
-        build_with(BaselineKind::MuFtl, geo, cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::Battery)),
+        build_with(
+            BaselineKind::MuFtl,
+            geo,
+            cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::Battery),
+        ),
         1,
     );
 }
@@ -76,14 +84,24 @@ fn fig09(c: &mut Criterion) {
 /// Figure 10: update cost with and without entry-partitioning at B=512.
 fn fig10(c: &mut Criterion) {
     let geo = Geometry::new(256, 512, 4096, 0.7);
-    for (name, s) in [("fig10_update_s1_b512", 1u32), ("fig10_update_s16_b512", 16)] {
-        let gecko_cfg = GeckoConfig { partitions: s, ..GeckoConfig::paper_default(&geo) };
+    for (name, s) in [
+        ("fig10_update_s1_b512", 1u32),
+        ("fig10_update_s16_b512", 16),
+    ] {
+        let gecko_cfg = GeckoConfig {
+            partitions: s,
+            ..GeckoConfig::paper_default(&geo)
+        };
         bench_update(
             c,
             name,
             build_geckoftl_tuned(
                 geo,
-                cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::CheckpointDeferred),
+                cfg(
+                    &geo,
+                    GcPolicy::MetadataAware,
+                    RecoveryPolicy::CheckpointDeferred,
+                ),
                 gecko_cfg,
             ),
             2,
@@ -100,7 +118,11 @@ fn fig11(c: &mut Criterion) {
             name,
             build_geckoftl_tuned(
                 geo,
-                cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::CheckpointDeferred),
+                cfg(
+                    &geo,
+                    GcPolicy::MetadataAware,
+                    RecoveryPolicy::CheckpointDeferred,
+                ),
                 GeckoConfig::paper_default(&geo),
             ),
             3,
@@ -116,7 +138,11 @@ fn fig12(c: &mut Criterion) {
         "fig12_update_r085",
         build_geckoftl_tuned(
             geo,
-            cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::CheckpointDeferred),
+            cfg(
+                &geo,
+                GcPolicy::MetadataAware,
+                RecoveryPolicy::CheckpointDeferred,
+            ),
             GeckoConfig::paper_default(&geo),
         ),
         4,
@@ -150,7 +176,11 @@ fn fig14(c: &mut Criterion) {
     bench_update(
         c,
         "fig14_update_dftl_small_cache",
-        build_with(BaselineKind::Dftl, geo, cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::Battery)),
+        build_with(
+            BaselineKind::Dftl,
+            geo,
+            cfg(&geo, GcPolicy::MetadataAware, RecoveryPolicy::Battery),
+        ),
         5,
     );
 }

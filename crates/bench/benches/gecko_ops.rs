@@ -22,7 +22,9 @@ fn bench_gecko_updates(c: &mut Criterion) {
         let mut gecko = LogGecko::new(geo, small_cfg(&geo));
         let mut x = 0u64;
         b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = (x >> 33) % (3000 * geo.pages_per_block as u64);
             gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
         });
@@ -31,22 +33,56 @@ fn bench_gecko_updates(c: &mut Criterion) {
 
 fn bench_gecko_query(c: &mut Criterion) {
     let geo = Geometry::small();
-    let mut dev = FlashDevice::new(geo);
-    let mut sink = FlatMetaSink::new((3000..4096).map(BlockId).collect());
-    let mut gecko = LogGecko::new(geo, small_cfg(&geo));
-    let mut x = 7u64;
-    for _ in 0..200_000 {
-        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-        let page = (x >> 33) % (3000 * geo.pages_per_block as u64);
-        gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
-    }
-    c.bench_function("gecko_gc_query", |b| {
-        let mut blk = 0u32;
-        b.iter(|| {
-            blk = (blk + 1) % 3000;
-            black_box(gecko.gc_query(&mut dev, BlockId(blk)));
+    // One pre-loaded structure per query engine: the fast path
+    // (bloom + fence pointers), the pre-optimization linear scan, and the
+    // probe-every-run naive oracle (run on the fast instance).
+    let variants = [
+        ("gecko_gc_query_fast", true),
+        ("gecko_gc_query_legacy", false),
+    ];
+    for (name, fast) in variants {
+        let mut dev = FlashDevice::new(geo);
+        let mut sink = FlatMetaSink::new((3000..4096).map(BlockId).collect());
+        let cfg = GeckoConfig {
+            fast_path: fast,
+            bloom_bits_per_key: if fast { 8 } else { 0 },
+            ..small_cfg(&geo)
+        };
+        let mut gecko = LogGecko::new(geo, cfg);
+        let mut x = 7u64;
+        for _ in 0..200_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let page = (x >> 33) % (3000 * geo.pages_per_block as u64);
+            gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
+        }
+        c.bench_function(name, |b| {
+            let mut blk = 0u32;
+            b.iter(|| {
+                blk = (blk + 1) % 3000;
+                black_box(gecko.gc_query(&mut dev, BlockId(blk)));
+            });
         });
-    });
+        if fast {
+            c.bench_function("gecko_gc_query_batch8", |b| {
+                let mut blk = 0u32;
+                b.iter(|| {
+                    let blocks: Vec<BlockId> =
+                        (0..8).map(|i| BlockId((blk + i * 311) % 3000)).collect();
+                    blk = (blk + 1) % 3000;
+                    black_box(gecko.gc_query_batch(&mut dev, &blocks));
+                });
+            });
+            c.bench_function("gecko_gc_query_naive_oracle", |b| {
+                let mut blk = 0u32;
+                b.iter(|| {
+                    blk = (blk + 1) % 3000;
+                    black_box(gecko.gc_query_naive(&mut dev, BlockId(blk)));
+                });
+            });
+        }
+    }
 }
 
 fn bench_cache_ops(c: &mut Criterion) {
@@ -101,7 +137,12 @@ fn bench_translation_sync(c: &mut Criterion) {
         b.iter(|| {
             // 8 dirty entries of one translation page, like a typical batch.
             let updates: Vec<(flash_sim::Lpn, Ppn)> = (0..8)
-                .map(|i| (flash_sim::Lpn(i * 100), Ppn(x.wrapping_add(i) % 100_000 + 1)))
+                .map(|i| {
+                    (
+                        flash_sim::Lpn(i * 100),
+                        Ppn(x.wrapping_add(i) % 100_000 + 1),
+                    )
+                })
                 .collect();
             x = x.wrapping_add(17);
             black_box(tt.synchronize(&mut dev, &mut bm, 0, &updates, false));
@@ -120,12 +161,14 @@ fn bench_pvl(c: &mut Criterion) {
         let mut x = 0u64;
         let mut i = 0u64;
         b.iter(|| {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = (x >> 33) % (3000 * geo.pages_per_block as u64);
             pvl.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
             // Periodic erases keep entries expirable, as a real GC would.
             i += 1;
-            if i % 64 == 0 {
+            if i.is_multiple_of(64) {
                 pvl.note_erase(&mut dev, &mut sink, BlockId(((x >> 20) % 3000) as u32));
             }
         });

@@ -21,7 +21,9 @@ fn main() {
         match args[i].as_str() {
             "--csv" => {
                 i += 1;
-                csv_dir = Some(PathBuf::from(args.get(i).map(String::as_str).unwrap_or("results")));
+                csv_dir = Some(PathBuf::from(
+                    args.get(i).map(String::as_str).unwrap_or("results"),
+                ));
             }
             "list" => {
                 println!("available experiments:");
@@ -55,6 +57,9 @@ fn main() {
         if let Some(dir) = &csv_dir {
             write_csv(dir, slug, &tables).expect("write CSV");
         }
-        eprintln!("<< {slug} done in {:.1}s\n", started.elapsed().as_secs_f64());
+        eprintln!(
+            "<< {slug} done in {:.1}s\n",
+            started.elapsed().as_secs_f64()
+        );
     }
 }

@@ -33,7 +33,10 @@ pub fn run() -> Vec<Table> {
         &["merging", "validity WA", "merge ops", "entries dropped"],
     );
     for multiway in [true, false] {
-        let gecko_cfg = GeckoConfig { multiway_merge: multiway, ..GeckoConfig::paper_default(&geo) };
+        let gecko_cfg = GeckoConfig {
+            multiway_merge: multiway,
+            ..GeckoConfig::paper_default(&geo)
+        };
         let mut engine = build_geckoftl_tuned(geo, base_cfg(&geo), gecko_cfg);
         let d = measure_uniform(&mut engine, 60_000, 51);
         let stats = engine.backend().gecko().expect("gecko").stats;
@@ -48,7 +51,14 @@ pub fn run() -> Vec<Table> {
     // ---- 2. GC victim policy. ---------------------------------------------
     let mut gc = Table::new(
         "Ablation — metadata-aware GC (§4.2) vs greedy",
-        &["policy", "user", "translation", "validity", "total WA", "migrations"],
+        &[
+            "policy",
+            "user",
+            "translation",
+            "validity",
+            "total WA",
+            "migrations",
+        ],
     );
     for policy in [GcPolicy::MetadataAware, GcPolicy::GreedyAll] {
         // GeckoFTL and DFTL: the policy matters most for FTLs whose greedy
@@ -82,7 +92,12 @@ pub fn run() -> Vec<Table> {
     // ---- 3. Checkpoints. ---------------------------------------------------
     let mut ckpt = Table::new(
         "Ablation — checkpoints (§4.3): runtime syncs vs recovery-scan size",
-        &["checkpoints", "translation WA", "syncs", "recovery scan (spare reads)"],
+        &[
+            "checkpoints",
+            "translation WA",
+            "syncs",
+            "recovery scan (spare reads)",
+        ],
     );
     for period in [None::<u64>, Some(u64::MAX)] {
         let mut cfg = base_cfg(&geo);
@@ -107,7 +122,12 @@ pub fn run() -> Vec<Table> {
             .map(|(_, c)| c.spare_reads)
             .unwrap_or(0);
         ckpt.row(vec![
-            if period.is_none() { "on (period C)" } else { "off" }.into(),
+            if period.is_none() {
+                "on (period C)"
+            } else {
+                "off"
+            }
+            .into(),
             f3(d.wa_breakdown(10.0).translation),
             syncs.to_string(),
             scan.to_string(),
@@ -129,7 +149,10 @@ mod tests {
         let gc = &tables[1];
         let gecko_aware: f64 = gc.rows[0][4].parse().unwrap();
         let gecko_greedy: f64 = gc.rows[2][4].parse().unwrap();
-        assert!(gecko_aware <= gecko_greedy * 1.1, "{gecko_aware} vs {gecko_greedy}");
+        assert!(
+            gecko_aware <= gecko_greedy * 1.1,
+            "{gecko_aware} vs {gecko_greedy}"
+        );
         let dftl_aware_t: f64 = gc.rows[1][2].parse().unwrap();
         let dftl_greedy_t: f64 = gc.rows[3][2].parse().unwrap();
         assert!(
@@ -140,6 +163,9 @@ mod tests {
         let ckpt = &tables[2];
         let scan_on: u64 = ckpt.rows[0][3].parse().unwrap();
         let scan_off: u64 = ckpt.rows[1][3].parse().unwrap();
-        assert!(scan_on < scan_off, "checkpointed scan {scan_on} must be below unbounded {scan_off}");
+        assert!(
+            scan_on < scan_off,
+            "checkpointed scan {scan_on} must be below unbounded {scan_off}"
+        );
     }
 }

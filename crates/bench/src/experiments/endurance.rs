@@ -16,7 +16,14 @@ pub fn run() -> Vec<Table> {
     let geo = sim_geometry();
     let mut t = Table::new(
         "Endurance — erase pressure per FTL for the same 60k-update workload",
-        &["FTL", "total erases", "erases /1k writes", "max block erases", "mean erases", "projected lifetime (×)"],
+        &[
+            "FTL",
+            "total erases",
+            "erases /1k writes",
+            "max block erases",
+            "mean erases",
+            "projected lifetime (×)",
+        ],
     );
     let mut baseline_rate = None;
     for kind in BaselineKind::ALL {
@@ -25,10 +32,15 @@ pub fn run() -> Vec<Table> {
         let logical = geo.logical_pages();
         let mut gen = Uniform::new(99, logical);
         drive(&mut engine, &mut gen, logical / 2);
-        let snap_erases: u64 = geo.iter_blocks().map(|b| engine.device().erase_count(b) as u64).sum();
+        let snap_erases: u64 = geo
+            .iter_blocks()
+            .map(|b| engine.device().erase_count(b) as u64)
+            .sum();
         drive(&mut engine, &mut gen, 60_000);
-        let counts: Vec<u64> =
-            geo.iter_blocks().map(|b| engine.device().erase_count(b) as u64).collect();
+        let counts: Vec<u64> = geo
+            .iter_blocks()
+            .map(|b| engine.device().erase_count(b) as u64)
+            .collect();
         let total: u64 = counts.iter().sum::<u64>() - snap_erases;
         let max = counts.iter().max().copied().unwrap_or(0);
         let mean = counts.iter().sum::<u64>() as f64 / counts.len() as f64;
@@ -60,7 +72,9 @@ mod tests {
         let tables = super::run();
         let rows = &tables[0].rows;
         let rate = |ftl: &str| -> f64 {
-            rows.iter().find(|r| r[0] == ftl).unwrap()[2].parse().unwrap()
+            rows.iter().find(|r| r[0] == ftl).unwrap()[2]
+                .parse()
+                .unwrap()
         };
         // Erase pressure tracks write-amplification: µ-FTL (flash PVB)
         // erases the most; GeckoFTL the least of the flash-validity FTLs.

@@ -41,7 +41,11 @@ mod tests {
     fn produces_monotone_curves() {
         let tables = super::run();
         assert_eq!(tables.len(), 2);
-        let ram: Vec<u64> = tables[0].rows.iter().map(|r| r[2].parse().unwrap()).collect();
+        let ram: Vec<u64> = tables[0]
+            .rows
+            .iter()
+            .map(|r| r[2].parse().unwrap())
+            .collect();
         assert!(ram.windows(2).all(|w| w[1] > w[0]));
     }
 }

@@ -51,14 +51,20 @@ pub fn run() -> Vec<Table> {
 
     let mut techniques: Vec<(String, Vec<crate::harness::MeasuredInterval>)> = Vec::new();
     for t in [2u32, 4, 8, 16] {
-        let gecko_cfg = GeckoConfig { size_ratio: t, ..GeckoConfig::paper_default(&geo) };
+        let gecko_cfg = GeckoConfig {
+            size_ratio: t,
+            ..GeckoConfig::paper_default(&geo)
+        };
         let mut engine = build_geckoftl_tuned(geo, base_cfg, gecko_cfg);
         let intervals = Driver::default().measure(&mut engine);
         techniques.push((format!("Gecko T={t}"), intervals));
     }
     {
         // µ-FTL's flash PVB with the same GC scheme (apples-to-apples).
-        let cfg = FtlConfig { recovery: RecoveryPolicy::Battery, ..base_cfg };
+        let cfg = FtlConfig {
+            recovery: RecoveryPolicy::Battery,
+            ..base_cfg
+        };
         let mut engine = build_with(BaselineKind::MuFtl, geo, cfg);
         let intervals = Driver::default().measure(&mut engine);
         techniques.push(("Flash PVB".into(), intervals));
@@ -106,7 +112,10 @@ mod tests {
         for (i, w) in wa[..4].iter().enumerate() {
             assert!(w < &pvb, "gecko row {i} ({w}) must beat PVB ({pvb})");
         }
-        assert!(wa[0] <= wa[1] && wa[0] <= wa[2] && wa[0] <= wa[3], "T=2 must be optimal: {wa:?}");
+        assert!(
+            wa[0] <= wa[1] && wa[0] <= wa[2] && wa[0] <= wa[3],
+            "T=2 must be optimal: {wa:?}"
+        );
         // PVB ≈ 1 + 1/δ.
         assert!((0.9..1.4).contains(&pvb), "PVB WA = {pvb}");
     }

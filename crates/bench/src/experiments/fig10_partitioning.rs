@@ -35,7 +35,11 @@ pub fn run() -> Vec<Table> {
             let v = gecko_cfg.entries_per_page(&geo);
             let d = measure_uniform(&mut engine, 40_000, 13);
             let wa = d.wa_breakdown(10.0).validity;
-            let star = if s == GeckoConfig::recommended_partitions(&geo, 4) { "*" } else { "" };
+            let star = if s == GeckoConfig::recommended_partitions(&geo, 4) {
+                "*"
+            } else {
+                ""
+            };
             t.row(vec![
                 b.to_string(),
                 format!("{s}{star}"),
@@ -74,6 +78,9 @@ mod tests {
             .collect();
         let max = tuned.iter().cloned().fold(0.0f64, f64::max);
         let min = tuned.iter().cloned().fold(f64::MAX, f64::min);
-        assert!(max < 2.0 * min, "tuned WA should be ≈flat across B: {tuned:?}");
+        assert!(
+            max < 2.0 * min,
+            "tuned WA should be ≈flat across B: {tuned:?}"
+        );
     }
 }

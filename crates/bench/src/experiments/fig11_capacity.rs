@@ -17,7 +17,13 @@ use geckoftl_core::gecko::GeckoConfig;
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "Figure 11 — validity WA vs number of blocks K (B=128, 4 KB pages, R=0.7)",
-        &["K", "capacity_MB", "gecko WA", "gecko levels", "flash PVB WA"],
+        &[
+            "K",
+            "capacity_MB",
+            "gecko WA",
+            "gecko levels",
+            "flash PVB WA",
+        ],
     );
     for shift in [10u32, 11, 12, 13] {
         let geo = Geometry::new(1 << shift, 1 << 7, 1 << 12, 0.7);
@@ -29,16 +35,23 @@ pub fn run() -> Vec<Table> {
             checkpoint_period: None,
         };
         let mut gecko = build_geckoftl_tuned(geo, cfg, GeckoConfig::paper_default(&geo));
-        let gecko_wa = measure_uniform(&mut gecko, 40_000, 21).wa_breakdown(10.0).validity;
+        let gecko_wa = measure_uniform(&mut gecko, 40_000, 21)
+            .wa_breakdown(10.0)
+            .validity;
         let levels = gecko
             .backend()
             .gecko()
             .expect("gecko backend")
             .occupied_levels();
 
-        let pvb_cfg = FtlConfig { recovery: RecoveryPolicy::Battery, ..cfg };
+        let pvb_cfg = FtlConfig {
+            recovery: RecoveryPolicy::Battery,
+            ..cfg
+        };
         let mut pvb = build_with(BaselineKind::MuFtl, geo, pvb_cfg);
-        let pvb_wa = measure_uniform(&mut pvb, 40_000, 21).wa_breakdown(10.0).validity;
+        let pvb_wa = measure_uniform(&mut pvb, 40_000, 21)
+            .wa_breakdown(10.0)
+            .validity;
 
         t.row(vec![
             (1u64 << shift).to_string(),
@@ -54,7 +67,10 @@ pub fn run() -> Vec<Table> {
         &["geometry", "log2(multiplier)"],
     );
     let model = GeckoCostModel::paper_default(Geometry::paper_2tb());
-    x.row(vec!["paper 2 TB".into(), f3(crossover_capacity_log2(&model, 10.0))]);
+    x.row(vec![
+        "paper 2 TB".into(),
+        f3(crossover_capacity_log2(&model, 10.0)),
+    ]);
     vec![t, x]
 }
 
@@ -73,7 +89,10 @@ mod tests {
         // 8× more blocks: gecko WA grows, but by far less than 8×.
         let first: f64 = rows.first().unwrap()[2].parse().unwrap();
         let last: f64 = rows.last().unwrap()[2].parse().unwrap();
-        assert!(last < 4.0 * first.max(0.02), "gecko growth too steep: {first} → {last}");
+        assert!(
+            last < 4.0 * first.max(0.02),
+            "gecko growth too steep: {first} → {last}"
+        );
         // The crossover is astronomically far (paper: ≈2¹⁰⁰).
         let log2x: f64 = tables[1].rows[0][1].parse().unwrap();
         assert!(log2x > 60.0);

@@ -14,7 +14,13 @@ use geckoftl_core::gecko::GeckoConfig;
 pub fn run() -> Vec<Table> {
     let mut t = Table::new(
         "Figure 12 — Gecko validity IO vs over-provisioning (R = logical/physical)",
-        &["R", "query reads /10k", "validity writes /10k", "validity WA", "GC ops /10k"],
+        &[
+            "R",
+            "query reads /10k",
+            "validity writes /10k",
+            "validity WA",
+            "GC ops /10k",
+        ],
     );
     for r10 in [5u32, 6, 7, 8, 9] {
         let r = r10 as f64 / 10.0;
@@ -33,7 +39,11 @@ pub fn run() -> Vec<Table> {
         let n = d.logical_writes.max(1) as f64;
         let queries = d.counts(IoPurpose::ValidityQuery).page_reads;
         let mut writes = 0u64;
-        for p in [IoPurpose::ValidityUpdate, IoPurpose::ValidityMerge, IoPurpose::ValidityGc] {
+        for p in [
+            IoPurpose::ValidityUpdate,
+            IoPurpose::ValidityMerge,
+            IoPurpose::ValidityGc,
+        ] {
             writes += d.counts(p).page_writes;
         }
         t.row(vec![
@@ -56,7 +66,10 @@ mod tests {
         let rows = &tables[0].rows;
         let q_low: f64 = rows.first().unwrap()[1].parse().unwrap();
         let q_high: f64 = rows.last().unwrap()[1].parse().unwrap();
-        assert!(q_high > q_low, "GC queries must rise as over-provisioning shrinks");
+        assert!(
+            q_high > q_low,
+            "GC queries must rise as over-provisioning shrinks"
+        );
         for r in rows {
             let wa: f64 = r[3].parse().unwrap();
             assert!(wa < 0.5, "R={}: validity WA {wa} should stay low", r[0]);

@@ -68,7 +68,11 @@ pub fn run() -> Vec<Table> {
     for name in FtlName::ALL {
         let m = recovery_model(name, &paper, PAPER_CACHE, 0.1);
         for c in &m.components {
-            rec.row(vec![name.label().into(), c.name.into(), f3(c.seconds(&lat))]);
+            rec.row(vec![
+                name.label().into(),
+                c.name.into(),
+                f3(c.seconds(&lat)),
+            ]);
         }
         rec_total.row(vec![
             name.label().into(),
@@ -116,20 +120,26 @@ mod tests {
         let wa = &tables[4];
 
         let ram_of = |n: &str| -> u64 {
-            ram_total.rows.iter().find(|r| r[0] == n).unwrap()[1].parse().unwrap()
+            ram_total.rows.iter().find(|r| r[0] == n).unwrap()[1]
+                .parse()
+                .unwrap()
         };
         // GeckoFTL and µ-FTL far below DFTL/LazyFTL on RAM.
         assert!(ram_of("GeckoFTL") < ram_of("DFTL") / 3);
         assert!(ram_of("u-FTL") <= ram_of("GeckoFTL"));
 
         let rec_of = |n: &str| -> f64 {
-            rec_total.rows.iter().find(|r| r[0] == n).unwrap()[1].parse().unwrap()
+            rec_total.rows.iter().find(|r| r[0] == n).unwrap()[1]
+                .parse()
+                .unwrap()
         };
         // ≥51 % recovery reduction vs LazyFTL, without a battery.
         assert!(rec_of("GeckoFTL") < 0.49 * rec_of("LazyFTL"));
 
         let wa_of = |n: &str, col: usize| -> f64 {
-            wa.rows.iter().find(|r| r[0] == n).unwrap()[col].parse().unwrap()
+            wa.rows.iter().find(|r| r[0] == n).unwrap()[col]
+                .parse()
+                .unwrap()
         };
         // µ-FTL has the highest validity WA; GeckoFTL is far lower.
         assert!(wa_of("u-FTL", 3) > 5.0 * wa_of("GeckoFTL", 3));

@@ -23,17 +23,36 @@ pub fn run() -> Vec<Table> {
     // mirroring the paper's 64 MB → +60 MB-of-cache trade.
     let small_cache = FtlConfig::scaled_cache_entries(&geo);
     let pvb_entries = (geo.total_pages() / 8 / 8) as usize;
-    let big_cache = (small_cache + pvb_entries)
-        .min((geo.overprovisioned_pages() / 2 - 64) as usize);
+    let big_cache =
+        (small_cache + pvb_entries).min((geo.overprovisioned_pages() / 2 - 64) as usize);
 
     let mut t = Table::new(
         "Figure 14 — same RAM budget: RAM-PVB + small cache vs flash validity + big cache",
-        &["FTL", "cache entries", "user", "translation", "validity", "total WA"],
+        &[
+            "FTL",
+            "cache entries",
+            "user",
+            "translation",
+            "validity",
+            "total WA",
+        ],
     );
     let cases = [
-        (BaselineKind::Dftl, small_cache, "DFTL (RAM PVB, small cache)"),
-        (BaselineKind::MuFtl, big_cache, "u-FTL (flash PVB, big cache)"),
-        (BaselineKind::GeckoFtl, big_cache, "GeckoFTL (gecko, big cache)"),
+        (
+            BaselineKind::Dftl,
+            small_cache,
+            "DFTL (RAM PVB, small cache)",
+        ),
+        (
+            BaselineKind::MuFtl,
+            big_cache,
+            "u-FTL (flash PVB, big cache)",
+        ),
+        (
+            BaselineKind::GeckoFtl,
+            big_cache,
+            "GeckoFTL (gecko, big cache)",
+        ),
     ];
     for (kind, cache, label) in cases {
         let cfg = FtlConfig {
@@ -80,8 +99,14 @@ mod tests {
         // DFTL: no validity IO, but high translation overhead (small cache).
         assert!(get(dftl, 4) < 0.05);
         // Big-cache FTLs amortize synchronization far better.
-        assert!(get(mu, 3) < get(dftl, 3) / 2.0, "µ-FTL translation must drop");
-        assert!(get(gecko, 3) < get(dftl, 3) / 2.0, "GeckoFTL translation must drop");
+        assert!(
+            get(mu, 3) < get(dftl, 3) / 2.0,
+            "µ-FTL translation must drop"
+        );
+        assert!(
+            get(gecko, 3) < get(dftl, 3) / 2.0,
+            "GeckoFTL translation must drop"
+        );
         // µ-FTL pays for its flash PVB; GeckoFTL doesn't.
         assert!(get(mu, 4) > 0.5);
         assert!(get(gecko, 4) < get(mu, 4) / 5.0);

@@ -22,9 +22,19 @@ pub fn run() -> Vec<Table> {
     let geo = sim_geometry();
     let mut t = Table::new(
         "Mixed workloads — read-amplification, write-amplification and the §5 slowdown factor",
-        &["FTL", "read ratio", "RA (tpage reads/read)", "WA", "slowdown 1/(RA·RW + WA·δ)"],
+        &[
+            "FTL",
+            "read ratio",
+            "RA (tpage reads/read)",
+            "WA",
+            "slowdown 1/(RA·RW + WA·δ)",
+        ],
     );
-    for kind in [BaselineKind::Dftl, BaselineKind::MuFtl, BaselineKind::GeckoFtl] {
+    for kind in [
+        BaselineKind::Dftl,
+        BaselineKind::MuFtl,
+        BaselineKind::GeckoFtl,
+    ] {
         for read_pct in [25u32, 50, 75] {
             let mut engine = build(kind, geo);
             fill_sequential(&mut engine);
@@ -69,9 +79,7 @@ mod tests {
         // slowdown factor is at least as good.
         for pct in ["25%", "50%", "75%"] {
             let of = |ftl: &str, col: usize| -> f64 {
-                rows.iter()
-                    .find(|r| r[0] == ftl && r[1] == pct)
-                    .unwrap()[col]
+                rows.iter().find(|r| r[0] == ftl && r[1] == pct).unwrap()[col]
                     .parse()
                     .unwrap()
             };
@@ -80,7 +88,10 @@ mod tests {
             // Read amplification is a cache-hit-rate property, roughly equal
             // across FTLs with equal caches.
             let ra_span = (of("GeckoFTL", 2) - of("DFTL", 2)).abs();
-            assert!(ra_span < 0.4, "RA should be comparable, span {ra_span} at {pct}");
+            assert!(
+                ra_span < 0.4,
+                "RA should be comparable, span {ra_span} at {pct}"
+            );
         }
     }
 }

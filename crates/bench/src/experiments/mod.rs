@@ -12,6 +12,7 @@ pub mod fig11_capacity;
 pub mod fig12_overprovisioning;
 pub mod fig13_comparison;
 pub mod fig14_ram_utilization;
+pub mod gecko_query;
 pub mod mixed_workload;
 pub mod recovery_exp;
 pub mod table1_costs;
@@ -30,18 +31,71 @@ pub struct Experiment {
 
 /// All experiments in paper order.
 pub const ALL: &[Experiment] = &[
-    Experiment { slug: "fig1", what: "RAM & recovery vs capacity (LazyFTL model)", run: fig01_scaling::run },
-    Experiment { slug: "table1", what: "per-op IO cost & RAM of validity stores", run: table1_costs::run },
-    Experiment { slug: "fig9", what: "Logarithmic Gecko (T sweep) vs flash PVB", run: fig09_pvb_vs_gecko::run },
-    Experiment { slug: "fig10", what: "entry-partitioning vs block size", run: fig10_partitioning::run },
-    Experiment { slug: "fig11", what: "write-amplification vs device capacity", run: fig11_capacity::run },
-    Experiment { slug: "fig12", what: "write-amplification vs over-provisioning", run: fig12_overprovisioning::run },
-    Experiment { slug: "fig13", what: "five-FTL comparison: RAM, recovery, WA", run: fig13_comparison::run },
-    Experiment { slug: "fig14", what: "RAM-plentiful scenario (70 MB budget)", run: fig14_ram_utilization::run },
-    Experiment { slug: "mixed", what: "mixed read/write generalization (§5 slowdown formula)", run: mixed_workload::run },
-    Experiment { slug: "recovery", what: "empirical GeckoRec cost vs model", run: recovery_exp::run },
-    Experiment { slug: "ablations", what: "multi-way merge, GC policy, checkpoints", run: ablations::run },
-    Experiment { slug: "endurance", what: "erase pressure / device lifetime per FTL", run: endurance::run },
+    Experiment {
+        slug: "fig1",
+        what: "RAM & recovery vs capacity (LazyFTL model)",
+        run: fig01_scaling::run,
+    },
+    Experiment {
+        slug: "table1",
+        what: "per-op IO cost & RAM of validity stores",
+        run: table1_costs::run,
+    },
+    Experiment {
+        slug: "fig9",
+        what: "Logarithmic Gecko (T sweep) vs flash PVB",
+        run: fig09_pvb_vs_gecko::run,
+    },
+    Experiment {
+        slug: "fig10",
+        what: "entry-partitioning vs block size",
+        run: fig10_partitioning::run,
+    },
+    Experiment {
+        slug: "fig11",
+        what: "write-amplification vs device capacity",
+        run: fig11_capacity::run,
+    },
+    Experiment {
+        slug: "fig12",
+        what: "write-amplification vs over-provisioning",
+        run: fig12_overprovisioning::run,
+    },
+    Experiment {
+        slug: "fig13",
+        what: "five-FTL comparison: RAM, recovery, WA",
+        run: fig13_comparison::run,
+    },
+    Experiment {
+        slug: "fig14",
+        what: "RAM-plentiful scenario (70 MB budget)",
+        run: fig14_ram_utilization::run,
+    },
+    Experiment {
+        slug: "mixed",
+        what: "mixed read/write generalization (§5 slowdown formula)",
+        run: mixed_workload::run,
+    },
+    Experiment {
+        slug: "gecko_query",
+        what: "GC-query fast path (bloom/fence/batch) vs linear scan; emits BENCH_gecko_query.json",
+        run: gecko_query::run,
+    },
+    Experiment {
+        slug: "recovery",
+        what: "empirical GeckoRec cost vs model",
+        run: recovery_exp::run,
+    },
+    Experiment {
+        slug: "ablations",
+        what: "multi-way merge, GC policy, checkpoints",
+        run: ablations::run,
+    },
+    Experiment {
+        slug: "endurance",
+        what: "erase pressure / device lifetime per FTL",
+        run: endurance::run,
+    },
 ];
 
 /// Find an experiment by slug.

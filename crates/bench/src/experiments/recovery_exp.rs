@@ -42,20 +42,37 @@ pub fn run() -> Vec<Table> {
             f3(cost.sim_us / 1000.0),
         ]);
     }
-    let mut s = Table::new(
-        "GeckoRec (empirical) — summary",
-        &["metric", "value"],
-    );
-    s.row(vec!["total recovery (ms)".into(), f3(report.total_secs() * 1000.0)]);
-    s.row(vec!["total spare reads".into(), report.total_spare_reads().to_string()]);
-    s.row(vec!["total page reads".into(), report.total_page_reads().to_string()]);
-    s.row(vec!["recreated cache entries".into(), report.recovered_entries.to_string()]);
-    s.row(vec!["recovered erase markers".into(), report.recovered_erases.to_string()]);
-    s.row(vec!["recovered invalidations".into(), report.recovered_invalidations.to_string()]);
+    let mut s = Table::new("GeckoRec (empirical) — summary", &["metric", "value"]);
+    s.row(vec![
+        "total recovery (ms)".into(),
+        f3(report.total_secs() * 1000.0),
+    ]);
+    s.row(vec![
+        "total spare reads".into(),
+        report.total_spare_reads().to_string(),
+    ]);
+    s.row(vec![
+        "total page reads".into(),
+        report.total_page_reads().to_string(),
+    ]);
+    s.row(vec![
+        "recreated cache entries".into(),
+        report.recovered_entries.to_string(),
+    ]);
+    s.row(vec![
+        "recovered erase markers".into(),
+        report.recovered_erases.to_string(),
+    ]);
+    s.row(vec![
+        "recovered invalidations".into(),
+        report.recovered_invalidations.to_string(),
+    ]);
     s.row(vec![
         "brute-force alternative (ms)".into(),
-        f3(ftl_models::recovery::brute_force_scan_seconds(&geo, &flash_sim::LatencyModel::paper())
-            * 1000.0),
+        f3(
+            ftl_models::recovery::brute_force_scan_seconds(&geo, &flash_sim::LatencyModel::paper())
+                * 1000.0,
+        ),
     ]);
     let _ = recovered;
     vec![s, t]
@@ -70,7 +87,10 @@ mod tests {
         let s = &tables[0];
         let total: f64 = s.rows[0][1].parse().unwrap();
         let brute: f64 = s.rows[6][1].parse().unwrap();
-        assert!(total < brute / 2.0, "GeckoRec {total} ms vs brute force {brute} ms");
+        assert!(
+            total < brute / 2.0,
+            "GeckoRec {total} ms vs brute force {brute} ms"
+        );
         let entries: u64 = s.rows[3][1].parse().unwrap();
         assert!(entries > 0);
     }

@@ -73,8 +73,12 @@ pub fn run() -> Vec<Table> {
         }
         let n = d.logical_writes.max(1) as f64;
         e.row(vec![
-            (if kind == BaselineKind::GeckoFtl { "Logarithmic Gecko" } else { "Flash-resident PVB" })
-                .into(),
+            (if kind == BaselineKind::GeckoFtl {
+                "Logarithmic Gecko"
+            } else {
+                "Flash-resident PVB"
+            })
+            .into(),
             f3(reads as f64 / n),
             f3(writes as f64 / n),
             f3(d.wa_breakdown(delta).validity),

@@ -61,7 +61,11 @@ pub struct Driver {
 
 impl Default for Driver {
     fn default() -> Self {
-        Driver { seed: 42, intervals: 10, interval_writes: 10_000 }
+        Driver {
+            seed: 42,
+            intervals: 10,
+            interval_writes: 10_000,
+        }
     }
 }
 
@@ -77,7 +81,10 @@ impl Driver {
         for index in 0..self.intervals {
             let snap = engine.device().stats().snapshot();
             drive(engine, &mut gen, self.interval_writes);
-            out.push(MeasuredInterval { index, delta: engine.device().stats().since(&snap) });
+            out.push(MeasuredInterval {
+                index,
+                delta: engine.device().stats().since(&snap),
+            });
         }
         out
     }

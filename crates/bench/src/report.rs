@@ -26,7 +26,12 @@ impl Table {
 
     /// Append one row (must match the column count).
     pub fn row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.columns.len(), "row width mismatch in '{}'", self.title);
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in '{}'",
+            self.title
+        );
         self.rows.push(cells);
     }
 
@@ -59,7 +64,15 @@ pub fn format_table(t: &Table) -> String {
         .map(|(i, c)| format!("{:>w$}", c, w = widths[i]))
         .collect();
     let _ = writeln!(s, "{}", head.join("  "));
-    let _ = writeln!(s, "{}", widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>().join("  "));
+    let _ = writeln!(
+        s,
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
     for row in &t.rows {
         let cells: Vec<String> = row
             .iter()

@@ -47,7 +47,14 @@ pub struct CacheEntry {
 impl CacheEntry {
     /// Entry created when an application read misses the cache: clean.
     pub fn clean(lpn: Lpn, ppn: Ppn) -> Self {
-        CacheEntry { lpn, ppn, dirty: false, uip: false, uncertain: false, written_epoch: 0 }
+        CacheEntry {
+            lpn,
+            ppn,
+            dirty: false,
+            uip: false,
+            uncertain: false,
+            written_epoch: 0,
+        }
     }
 }
 
@@ -176,15 +183,27 @@ impl MappingCache {
     /// cached or the cache is full — callers evict first.
     pub fn insert(&mut self, entry: CacheEntry) {
         assert!(!self.is_full(), "insert into full cache — evict first");
-        assert!(!self.map.contains_key(&entry.lpn), "duplicate insert for {:?}", entry.lpn);
+        assert!(
+            !self.map.contains_key(&entry.lpn),
+            "duplicate insert for {:?}",
+            entry.lpn
+        );
         if entry.dirty {
             self.dirty_count += 1;
         }
         let idx = if let Some(i) = self.free.pop() {
-            self.nodes[i] = Node { entry, prev: NIL, next: NIL };
+            self.nodes[i] = Node {
+                entry,
+                prev: NIL,
+                next: NIL,
+            };
             i
         } else {
-            self.nodes.push(Node { entry, prev: NIL, next: NIL });
+            self.nodes.push(Node {
+                entry,
+                prev: NIL,
+                next: NIL,
+            });
             self.nodes.len() - 1
         };
         self.map.insert(entry.lpn, idx);
@@ -242,7 +261,10 @@ impl MappingCache {
 
     /// Iterate entries from least- to most-recently used.
     pub fn iter_lru_order(&self) -> LruIter<'_> {
-        LruIter { cache: self, cursor: self.tail }
+        LruIter {
+            cache: self,
+            cursor: self.tail,
+        }
     }
 
     /// Iterate all entries in LPN order.

@@ -270,10 +270,39 @@ impl BlockManager {
     /// Erase a block and return it to the free pool.
     pub fn erase_and_free(&mut self, dev: &mut FlashDevice, block: BlockId, purpose: IoPurpose) {
         debug_assert!(!self.is_active(block), "cannot erase an active block");
-        dev.erase_block(block, purpose).expect("erase of in-range block");
+        dev.erase_block(block, purpose)
+            .expect("erase of in-range block");
         self.state[block.0 as usize] = BlockState::Free;
         self.bvc[block.0 as usize] = 0;
         self.free.push_back(block);
+    }
+
+    /// GC victim candidates among `eligible` groups: full, non-active,
+    /// unprotected blocks with at least one invalid page, as `(valid
+    /// pages, block)` pairs in block order. Single source of the victim
+    /// eligibility rules for both selection flavors below.
+    fn victim_candidates<'a>(
+        &'a self,
+        dev: &'a FlashDevice,
+        eligible: impl Fn(BlockGroup) -> bool + 'a,
+    ) -> impl Iterator<Item = (u32, BlockId)> + 'a {
+        self.geo.iter_blocks().filter_map(move |b| {
+            let BlockState::InUse(group) = self.state[b.0 as usize] else {
+                return None;
+            };
+            if !eligible(group)
+                || self.is_active(b)
+                || !dev.block_is_full(b)
+                || self.is_protected(b)
+            {
+                return None;
+            }
+            let valid = self.bvc[b.0 as usize];
+            if valid >= self.geo.pages_per_block {
+                return None; // nothing reclaimable
+            }
+            Some((valid, b))
+        })
     }
 
     /// Greedy victim selection: the full, non-active block with the fewest
@@ -284,24 +313,25 @@ impl BlockManager {
         dev: &FlashDevice,
         eligible: impl Fn(BlockGroup) -> bool,
     ) -> Option<BlockId> {
-        let mut best: Option<(u32, BlockId)> = None;
-        for b in self.geo.iter_blocks() {
-            let BlockState::InUse(group) = self.state[b.0 as usize] else {
-                continue;
-            };
-            if !eligible(group) || self.is_active(b) || !dev.block_is_full(b) || self.is_protected(b)
-            {
-                continue;
-            }
-            let valid = self.bvc[b.0 as usize];
-            if valid >= self.geo.pages_per_block {
-                continue; // nothing reclaimable
-            }
-            if best.is_none_or(|(v, _)| valid < v) {
-                best = Some((valid, b));
-            }
-        }
-        best.map(|(_, b)| b)
+        self.victim_candidates(dev, eligible)
+            .min_by_key(|&(valid, b)| (valid, b))
+            .map(|(_, b)| b)
+    }
+
+    /// The `k` best greedy victims (fewest valid pages first, block id as
+    /// tie-break — matching [`BlockManager::pick_victim`]'s choice). Used by
+    /// the engine to prefetch validity bitmaps for a whole GC burst in one
+    /// batched query.
+    pub fn pick_victims(
+        &self,
+        dev: &FlashDevice,
+        k: usize,
+        eligible: impl Fn(BlockGroup) -> bool,
+    ) -> Vec<BlockId> {
+        let mut candidates: Vec<(u32, BlockId)> = self.victim_candidates(dev, eligible).collect();
+        candidates.sort_unstable_by_key(|&(valid, b)| (valid, b));
+        candidates.truncate(k);
+        candidates.into_iter().map(|(_, b)| b).collect()
     }
 }
 
@@ -316,7 +346,13 @@ impl MetaSink for BlockManager {
         data: PageData,
         purpose: IoPurpose,
     ) -> Ppn {
-        self.append(dev, BlockGroup::Meta(kind), data, SpareInfo::Meta { kind, tag }, purpose)
+        self.append(
+            dev,
+            BlockGroup::Meta(kind),
+            data,
+            SpareInfo::Meta { kind, tag },
+            purpose,
+        )
     }
 
     fn meta_page_obsolete(&mut self, dev: &mut FlashDevice, ppn: Ppn) {
@@ -336,8 +372,14 @@ mod tests {
 
     fn user_page(lpn: u32) -> (PageData, SpareInfo) {
         (
-            PageData::User { lpn: Lpn(lpn), version: 0 },
-            SpareInfo::User { lpn: Lpn(lpn), before: None },
+            PageData::User {
+                lpn: Lpn(lpn),
+                version: 0,
+            },
+            SpareInfo::User {
+                lpn: Lpn(lpn),
+                before: None,
+            },
         )
     }
 
@@ -350,7 +392,10 @@ mod tests {
         let p2 = bm.append(&mut dev, BlockGroup::User, d2, s2, IoPurpose::UserWrite);
         assert_eq!(dev.geometry().block_of(p1), dev.geometry().block_of(p2));
         assert_eq!(bm.valid_pages(dev.geometry().block_of(p1)), 2);
-        assert_eq!(bm.group_of(dev.geometry().block_of(p1)), Some(BlockGroup::User));
+        assert_eq!(
+            bm.group_of(dev.geometry().block_of(p1)),
+            Some(BlockGroup::User)
+        );
     }
 
     #[test]
@@ -406,7 +451,11 @@ mod tests {
         for p in &pages[..per_block as usize] {
             bm.meta_page_obsolete(&mut dev, *p);
         }
-        assert_eq!(bm.group_of(first), None, "fully-invalid metadata block must be erased");
+        assert_eq!(
+            bm.group_of(first),
+            None,
+            "fully-invalid metadata block must be erased"
+        );
         assert_eq!(bm.free_blocks(), free_before + 1);
         assert_eq!(dev.erase_count(first), 1);
     }
@@ -455,7 +504,10 @@ mod tests {
         }
         assert_eq!(bm.pick_victim(&dev, |_| true), Some(b1));
         // Fully-valid or active blocks are never chosen.
-        assert_ne!(bm.pick_victim(&dev, |_| true), Some(b0.min(b1).min(BlockId(2))));
+        assert_ne!(
+            bm.pick_victim(&dev, |_| true),
+            Some(b0.min(b1).min(BlockId(2)))
+        );
     }
 
     #[test]

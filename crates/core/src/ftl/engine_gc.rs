@@ -34,8 +34,15 @@ impl FtlEngine {
 impl FtlEngine {
     /// Run garbage collection until the free pool is back above the
     /// threshold. Called at the top of every application write.
+    ///
+    /// When the burst will collect several victims, their validity bitmaps
+    /// are prefetched up front through one batched query
+    /// ([`crate::validity::ValidityStore::gc_query_batch`]) that sorts the
+    /// victims' keys and coalesces probes landing on the same flash page —
+    /// one pass over the store instead of a per-victim round trip.
     pub(crate) fn maybe_gc(&mut self) {
         while self.bm.free_blocks() < self.cfg.gc_free_threshold {
+            self.prefetch_victim_bitmaps();
             if self.collect_once() {
                 // Long GC bursts tick the checkpoint clock (migrations are
                 // user-page writes); honor the period between victims so
@@ -45,12 +52,61 @@ impl FtlEngine {
             }
             // No victim found: all invalid pages may be unidentified (UIP).
             // Force identification by syncing everything, then retry once.
+            // Prefetched bitmaps stay sound (syncs land in gc_invalidated),
+            // but the victim ranking has shifted wholesale: drop them.
+            self.gc_prefetch.clear();
             self.sync_all_dirty();
             assert!(
                 self.collect_once(),
                 "device full: no reclaimable block even after full synchronization"
             );
         }
+        self.gc_prefetch.clear();
+    }
+
+    /// Batch-query the validity bitmaps of this burst's likely victims.
+    ///
+    /// Soundness: a prefetched bitmap is a snapshot at batch-query time.
+    /// Pages it reports invalid can never become valid again before the
+    /// victim is erased (victims are full, non-active blocks), and pages
+    /// invalidated *after* the snapshot — by syncs that collections of
+    /// earlier victims trigger — are tracked in `gc_invalidated`, which
+    /// [`FtlEngine::collect_user_block`] consults per page. Both the
+    /// prefetched bitmap and the block's `gc_invalidated` entries are
+    /// dropped the moment the block is erased, so a block that is later
+    /// reallocated and refilled can never be judged by stale state.
+    ///
+    /// Only the fast-path Gecko backend prefetches: for every other store
+    /// (and for Gecko's pre-optimization A/B baseline) `gc_query_batch`
+    /// degrades to a per-victim loop, so prefetching could only *add*
+    /// wasted reads for victims that are never collected — it would
+    /// distort the baseline FTLs' validity-IO numbers for no gain.
+    fn prefetch_victim_bitmaps(&mut self) {
+        if !self.gc_prefetch.is_empty() {
+            return;
+        }
+        if !self.backend.gecko().is_some_and(|g| g.config().fast_path) {
+            return;
+        }
+        let deficit = self
+            .cfg
+            .gc_free_threshold
+            .saturating_sub(self.bm.free_blocks());
+        if deficit < 2 {
+            return; // a single collection gains nothing from batching
+        }
+        let victims = self
+            .bm
+            .pick_victims(&self.dev, deficit.min(8), |g| g == BlockGroup::User);
+        if victims.len() < 2 {
+            return;
+        }
+        self.gc_invalidated.clear();
+        let bitmaps = self
+            .backend
+            .store()
+            .gc_query_batch(&mut self.dev, &mut self.bm, &victims);
+        self.gc_prefetch = victims.into_iter().zip(bitmaps).collect();
     }
 
     /// Pick and collect one victim block. Returns false if no block has any
@@ -64,12 +120,17 @@ impl FtlEngine {
         if let Some(victim) = self.bm.pick_victim(&self.dev, |_| true) {
             if self.bm.valid_pages(victim) == 0 {
                 self.counters.gc_operations += 1;
+                self.gc_prefetch.remove(&victim);
                 if self.bm.group_of(victim) == Some(BlockGroup::User) {
                     // Erase markers still need to supersede older validity
                     // info about the block.
-                    self.backend.store().note_erase(&mut self.dev, &mut self.bm, victim);
+                    self.backend
+                        .store()
+                        .note_erase(&mut self.dev, &mut self.bm, victim);
                 }
-                self.bm.erase_and_free(&mut self.dev, victim, IoPurpose::GcMigrateUser);
+                self.bm
+                    .erase_and_free(&mut self.dev, victim, IoPurpose::GcMigrateUser);
+                self.forget_invalidated_in(victim);
                 return true;
             }
         }
@@ -94,8 +155,24 @@ impl FtlEngine {
     /// pages (skipping unidentified invalid pages via the §4.1 spare-check),
     /// report the erase, erase the block.
     pub(crate) fn collect_user_block(&mut self, victim: BlockId) {
-        self.gc_invalidated.clear();
-        let invalid = self.backend.store().gc_query(&mut self.dev, &mut self.bm, victim);
+        // Prefetched bitmap: snapshot taken at batch-query time, so
+        // `gc_invalidated` (accumulating since then) must be kept. A cold
+        // query re-snapshots here and may reset the set — but only when no
+        // prefetched bitmap is still outstanding: those carry the *older*
+        // batch snapshot and rely on every invalidation recorded since it.
+        // (Keeping extra entries is always safe — a listed page is genuinely
+        // invalid — so the cold victim is unaffected either way.)
+        let invalid = match self.gc_prefetch.remove(&victim) {
+            Some(bitmap) => bitmap,
+            None => {
+                if self.gc_prefetch.is_empty() {
+                    self.gc_invalidated.clear();
+                }
+                self.backend
+                    .store()
+                    .gc_query(&mut self.dev, &mut self.bm, victim)
+            }
+        };
         let written = self.dev.written_pages(victim);
         let geo = self.geometry();
         for off in 0..written {
@@ -113,7 +190,10 @@ impl FtlEngine {
                 .read_spare(ppn, IoPurpose::GcMigrateUser)
                 .expect("written page has a spare area");
             let SpareInfo::User { lpn, .. } = spare.info else {
-                panic!("user block page {ppn:?} carries non-user spare {:?}", spare.info)
+                panic!(
+                    "user block page {ppn:?} carries non-user spare {:?}",
+                    spare.info
+                )
             };
             // §4.1: "for every physical page Y in a victim block that
             // Logarithmic Gecko reports as valid, we read the spare area
@@ -189,9 +269,30 @@ impl FtlEngine {
         }
         // Algorithm 2: one erase marker supersedes all older validity
         // information about this block.
-        self.backend.store().note_erase(&mut self.dev, &mut self.bm, victim);
-        self.bm.erase_and_free(&mut self.dev, victim, IoPurpose::GcMigrateUser);
-        self.gc_invalidated.clear();
+        self.backend
+            .store()
+            .note_erase(&mut self.dev, &mut self.bm, victim);
+        self.bm
+            .erase_and_free(&mut self.dev, victim, IoPurpose::GcMigrateUser);
+        // `gc_invalidated` is NOT wholesale-cleared here: when the burst
+        // runs on prefetched bitmaps, invalidations since the batch
+        // snapshot must stay visible to the remaining victims. The set is
+        // reset at the next snapshot point (cold query or batch prefetch);
+        // only the erased block's own entries are dropped, below.
+        self.forget_invalidated_in(victim);
+    }
+
+    /// Drop `gc_invalidated` entries pointing into a just-erased block.
+    /// Mandatory whenever a user block is erased while the set may outlive
+    /// the erase (prefetched-burst mode): if the block is reallocated and
+    /// refilled within the same burst, a stale entry at a reused physical
+    /// address would make a later collection skip a *live* page.
+    fn forget_invalidated_in(&mut self, block: BlockId) {
+        if self.gc_invalidated.is_empty() {
+            return;
+        }
+        let geo = self.geometry();
+        self.gc_invalidated.retain(|p| geo.block_of(*p) != block);
     }
 
     /// Collect a translation-block victim (baseline FTLs' greedy policy):
@@ -214,14 +315,18 @@ impl FtlEngine {
                 self.tt.migrate_tpage(&mut self.dev, &mut self.bm, tpage);
             }
         }
-        self.bm.erase_and_free(&mut self.dev, victim, IoPurpose::TranslationGc);
+        self.bm
+            .erase_and_free(&mut self.dev, victim, IoPurpose::TranslationGc);
     }
 
     /// Collect a metadata-block victim by delegating to the validity store
     /// (flash-resident PVB under the greedy policy), then erase it.
     fn collect_meta_block(&mut self, victim: BlockId) {
-        self.backend.store().collect_meta_block(&mut self.dev, &mut self.bm, victim);
-        self.bm.erase_and_free(&mut self.dev, victim, IoPurpose::ValidityGc);
+        self.backend
+            .store()
+            .collect_meta_block(&mut self.dev, &mut self.bm, victim);
+        self.bm
+            .erase_and_free(&mut self.dev, victim, IoPurpose::ValidityGc);
     }
 
     pub(crate) fn current_epoch(&self) -> u64 {

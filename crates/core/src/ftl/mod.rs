@@ -27,8 +27,8 @@ use crate::cache::{CacheEntry, MappingCache};
 use crate::gecko::{GeckoConfig, LogGecko};
 use crate::translation::TranslationTable;
 use crate::validity::ValidityStore;
-use flash_sim::{FlashDevice, Geometry, IoPurpose, Lpn, PageData, Ppn, SpareInfo};
-use std::collections::HashSet;
+use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, Lpn, PageData, Ppn, SpareInfo};
+use std::collections::{HashMap, HashSet};
 
 /// Garbage-collection victim-selection policy (§4.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -100,6 +100,9 @@ impl FtlConfig {
 /// The validity backend: GeckoFTL's Logarithmic Gecko is held concretely so
 /// the engine can drive its flush/recovery hooks; baseline stores plug in as
 /// trait objects.
+// One instance per engine: the size gap between the inline LogGecko (with
+// its reusable scratch buffers) and the boxed baselines is irrelevant.
+#[allow(clippy::large_enum_variant)]
 pub enum ValidityBackend {
     /// Logarithmic Gecko (GeckoFTL).
     Gecko(LogGecko),
@@ -172,6 +175,9 @@ pub struct FtlEngine {
     /// against migrating pages that a mid-GC synchronization invalidated
     /// after the GC query snapshot was taken.
     pub(crate) gc_invalidated: HashSet<Ppn>,
+    /// Victim bitmaps prefetched by a batched validity query at the start
+    /// of a GC burst; consumed (and invalidated) as victims are collected.
+    pub(crate) gc_prefetch: HashMap<BlockId, crate::gecko::Bitmap>,
     /// Lifetime op counters.
     pub counters: EngineCounters,
 }
@@ -208,7 +214,11 @@ impl FtlEngine {
     /// Build GeckoFTL with paper-default tuning on a fresh device.
     pub fn geckoftl(geo: Geometry) -> Self {
         let gecko = LogGecko::new(geo, GeckoConfig::paper_default(&geo));
-        Self::format(geo, FtlConfig::geckoftl(&geo), ValidityBackend::Gecko(gecko))
+        Self::format(
+            geo,
+            FtlConfig::geckoftl(&geo),
+            ValidityBackend::Gecko(gecko),
+        )
     }
 
     fn format_on(mut dev: FlashDevice, cfg: &mut FtlConfig, backend: ValidityBackend) -> Self {
@@ -238,6 +248,7 @@ impl FtlEngine {
             ops_since_checkpoint: 0,
             last_flush_seen: 0,
             gc_invalidated: HashSet::new(),
+            gc_prefetch: HashMap::new(),
             counters: EngineCounters::default(),
         }
     }
@@ -266,6 +277,7 @@ impl FtlEngine {
             ops_since_checkpoint: 0,
             last_flush_seen,
             gc_invalidated: HashSet::new(),
+            gc_prefetch: HashMap::new(),
             counters: EngineCounters::default(),
         }
     }
@@ -340,7 +352,10 @@ impl FtlEngine {
 
     /// Application write: store a new version of logical page `lpn`.
     pub fn write(&mut self, lpn: Lpn, version: u64) {
-        assert!(self.geometry().contains_lpn(lpn), "write outside logical space: {lpn:?}");
+        assert!(
+            self.geometry().contains_lpn(lpn),
+            "write outside logical space: {lpn:?}"
+        );
         self.maybe_gc();
         self.counters.writes += 1;
         // Record the superseded copy's address in the new page's spare area
@@ -399,7 +414,10 @@ impl FtlEngine {
     /// Application read: returns the stored version tag, or `None` if the
     /// page was never written.
     pub fn read(&mut self, lpn: Lpn) -> Option<u64> {
-        assert!(self.geometry().contains_lpn(lpn), "read outside logical space: {lpn:?}");
+        assert!(
+            self.geometry().contains_lpn(lpn),
+            "read outside logical space: {lpn:?}"
+        );
         self.counters.reads += 1;
         self.dev.stats_mut().logical_reads += 1;
         let ppn = if let Some(e) = self.cache.lookup(lpn) {
@@ -407,13 +425,18 @@ impl FtlEngine {
             self.cache.promote(lpn);
             p
         } else {
-            let p = self.tt.lookup(&mut self.dev, lpn, IoPurpose::TranslationFetch)?;
+            let p = self
+                .tt
+                .lookup(&mut self.dev, lpn, IoPurpose::TranslationFetch)?;
             self.make_room();
             self.cache.insert(CacheEntry::clean(lpn, p));
             self.post_op();
             p
         };
-        let data = self.dev.read_page(ppn, IoPurpose::UserRead).expect("mapped page readable");
+        let data = self
+            .dev
+            .read_page(ppn, IoPurpose::UserRead)
+            .expect("mapped page readable");
         let (stored_lpn, version) = data.as_user().expect("user block page holds user data");
         debug_assert_eq!(stored_lpn, lpn, "mapping must point at this page's data");
         Some(version)
@@ -428,19 +451,24 @@ impl FtlEngine {
         if let Some(e) = self.cache.lookup(lpn) {
             return Some(e.ppn);
         }
-        self.tt.lookup(&mut self.dev, lpn, IoPurpose::TranslationFetch)
+        self.tt
+            .lookup(&mut self.dev, lpn, IoPurpose::TranslationFetch)
     }
 
     /// Ask the validity store for a block's invalid bitmap without running a
     /// GC operation (test/debug introspection; charges query IO).
     pub fn debug_validity(&mut self, block: flash_sim::BlockId) -> crate::gecko::Bitmap {
-        self.backend.store().gc_query(&mut self.dev, &mut self.bm, block)
+        self.backend
+            .store()
+            .gc_query(&mut self.dev, &mut self.bm, block)
     }
 
     /// Report a user page invalid to the validity store and to BVC.
     pub(crate) fn invalidate_user_page(&mut self, ppn: Ppn) {
         self.gc_invalidated.insert(ppn);
-        self.backend.store().mark_invalid(&mut self.dev, &mut self.bm, ppn);
+        self.backend
+            .store()
+            .mark_invalid(&mut self.dev, &mut self.bm, ppn);
         self.bm.page_obsolete(&mut self.dev, ppn);
         self.after_validity_op();
     }
@@ -449,7 +477,9 @@ impl FtlEngine {
     /// double-counting — the App. C.3.2 re-report case.
     pub(crate) fn invalidate_user_page_lenient(&mut self, ppn: Ppn) {
         self.gc_invalidated.insert(ppn);
-        self.backend.store().mark_invalid(&mut self.dev, &mut self.bm, ppn);
+        self.backend
+            .store()
+            .mark_invalid(&mut self.dev, &mut self.bm, ppn);
         self.bm.page_obsolete_lenient(&mut self.dev, ppn);
         self.after_validity_op();
     }
@@ -505,7 +535,9 @@ impl FtlEngine {
                 self.after_validity_op();
             }
         }
-        let outcome = self.tt.synchronize(&mut self.dev, &mut self.bm, tpage, &updates, verify);
+        let outcome = self
+            .tt
+            .synchronize(&mut self.dev, &mut self.bm, tpage, &updates, verify);
         if outcome.aborted {
             self.counters.syncs_aborted += 1;
         }
@@ -525,7 +557,9 @@ impl FtlEngine {
                         let still_before = self
                             .dev
                             .read_spare(before_ppn, IoPurpose::TranslationSync)
-                            .is_ok_and(|s| matches!(s.info, SpareInfo::User { lpn: l, .. } if l == *lpn));
+                            .is_ok_and(
+                                |s| matches!(s.info, SpareInfo::User { lpn: l, .. } if l == *lpn),
+                            );
                         if still_before {
                             reports.push((before_ppn, true));
                         }
@@ -550,7 +584,9 @@ impl FtlEngine {
                 }
             }
             let ppns: Vec<Ppn> = reports.iter().map(|(p, _)| *p).collect();
-            self.backend.store().mark_invalid_batch(&mut self.dev, &mut self.bm, &ppns);
+            self.backend
+                .store()
+                .mark_invalid_batch(&mut self.dev, &mut self.bm, &ppns);
             self.after_validity_op();
         }
         for lpn in &outcome.already_synced {
@@ -673,7 +709,9 @@ impl FtlEngine {
     /// (App. C.2.2: "When Logarithmic Gecko's buffer is flushed, we clear
     /// the list").
     fn after_validity_op(&mut self) {
-        let Some(g) = self.backend.gecko() else { return };
+        let Some(g) = self.backend.gecko() else {
+            return;
+        };
         let flushed = g.last_flush_seq();
         if flushed > self.last_flush_seen {
             self.last_flush_seen = flushed;
@@ -683,7 +721,8 @@ impl FtlEngine {
                     && !self.bm.is_active(block)
                     && self.bm.group_of(block).is_some_and(BlockGroup::is_metadata);
                 if empty && erasable {
-                    self.bm.erase_and_free(&mut self.dev, block, IoPurpose::TranslationGc);
+                    self.bm
+                        .erase_and_free(&mut self.dev, block, IoPurpose::TranslationGc);
                 }
             }
         }

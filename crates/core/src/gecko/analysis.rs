@@ -24,7 +24,10 @@ pub struct GeckoCostModel {
 impl GeckoCostModel {
     /// Build a model for a geometry with its paper-default tuning.
     pub fn paper_default(geo: Geometry) -> Self {
-        GeckoCostModel { cfg: GeckoConfig::paper_default(&geo), geo }
+        GeckoCostModel {
+            cfg: GeckoConfig::paper_default(&geo),
+            geo,
+        }
     }
 
     /// `L`: number of levels.
@@ -115,7 +118,11 @@ mod tests {
     fn update_cost_is_subconstant() {
         let m = GeckoCostModel::paper_default(Geometry::paper_2tb());
         // "each update costs a small fraction of a flash read and write"
-        assert!(m.update_writes() < 0.2, "update writes = {}", m.update_writes());
+        assert!(
+            m.update_writes() < 0.2,
+            "update writes = {}",
+            m.update_writes()
+        );
         assert!(m.update_wa(10.0) < FlashPvbCostModel::update_wa(10.0));
     }
 
@@ -139,8 +146,20 @@ mod tests {
     #[test]
     fn higher_t_means_fewer_levels_costlier_updates() {
         let geo = Geometry::paper_2tb();
-        let t2 = GeckoCostModel { cfg: GeckoConfig { size_ratio: 2, ..GeckoConfig::paper_default(&geo) }, geo };
-        let t8 = GeckoCostModel { cfg: GeckoConfig { size_ratio: 8, ..GeckoConfig::paper_default(&geo) }, geo };
+        let t2 = GeckoCostModel {
+            cfg: GeckoConfig {
+                size_ratio: 2,
+                ..GeckoConfig::paper_default(&geo)
+            },
+            geo,
+        };
+        let t8 = GeckoCostModel {
+            cfg: GeckoConfig {
+                size_ratio: 8,
+                ..GeckoConfig::paper_default(&geo)
+            },
+            geo,
+        };
         assert!(t8.query_reads() < t2.query_reads());
         assert!(t8.update_wa(10.0) > t2.update_wa(10.0));
     }

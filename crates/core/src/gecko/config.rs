@@ -20,6 +20,33 @@ pub struct GeckoConfig {
     /// Bytes reserved per run page for the in-page header (run ID, page
     /// index) and pre/postamble bookkeeping (Appendix C.1).
     pub page_header_bytes: u32,
+    /// RAM bits per key for the per-run blocked Bloom filter built at
+    /// flush/merge time (see [`crate::gecko::filter`]). 0 disables filters;
+    /// 8 (the default) targets a ≈2–3 % false-positive rate, letting GC
+    /// queries skip runs that cannot contain the victim's keys.
+    pub bloom_bits_per_key: u32,
+    /// Use the Bloom-filter + fence-pointer fast path for GC queries. When
+    /// false, queries use the pre-optimization linear directory scan — kept
+    /// as an A/B baseline for the `gecko_query` benchmark and as the
+    /// equivalence oracle's twin in property tests.
+    pub fast_path: bool,
+}
+
+impl Default for GeckoConfig {
+    /// Geometry-independent defaults: the paper's `T = 2` with multi-way
+    /// merging, no entry-partitioning (callers size `S` from the geometry
+    /// via [`GeckoConfig::paper_default`]), and the fast query path on.
+    fn default() -> Self {
+        GeckoConfig {
+            size_ratio: 2,
+            partitions: 1,
+            multiway_merge: true,
+            key_bytes: 4,
+            page_header_bytes: 32,
+            bloom_bits_per_key: 8,
+            fast_path: true,
+        }
+    }
 }
 
 impl GeckoConfig {
@@ -27,11 +54,8 @@ impl GeckoConfig {
     /// (Figure 9) and `S = B / key-bits` (§3.3), with multi-way merging.
     pub fn paper_default(geo: &Geometry) -> Self {
         let cfg = GeckoConfig {
-            size_ratio: 2,
             partitions: Self::recommended_partitions(geo, 4),
-            multiway_merge: true,
-            key_bytes: 4,
-            page_header_bytes: 32,
+            ..GeckoConfig::default()
         };
         cfg.validate(geo);
         cfg
@@ -52,7 +76,10 @@ impl GeckoConfig {
     /// Panic if this configuration is inconsistent with the geometry.
     pub fn validate(&self, geo: &Geometry) {
         assert!(self.size_ratio >= 2, "size ratio T must be at least 2");
-        assert!(self.partitions >= 1, "partitioning factor S must be at least 1");
+        assert!(
+            self.partitions >= 1,
+            "partitioning factor S must be at least 1"
+        );
         assert_eq!(
             geo.pages_per_block % self.partitions,
             0,
@@ -129,14 +156,17 @@ mod tests {
     fn entries_per_page_shrinks_with_block_size() {
         let small_b = Geometry::new(1024, 64, 4096, 0.7);
         let big_b = Geometry::new(1024, 512, 4096, 0.7);
-        let unpartitioned = |geo: &Geometry| GeckoConfig {
-            size_ratio: 2,
-            partitions: 1,
-            multiway_merge: true,
-            key_bytes: 4,
-            page_header_bytes: 32,
-        }
-        .entries_per_page(geo);
+        let unpartitioned = |geo: &Geometry| {
+            GeckoConfig {
+                size_ratio: 2,
+                partitions: 1,
+                multiway_merge: true,
+                key_bytes: 4,
+                page_header_bytes: 32,
+                ..GeckoConfig::default()
+            }
+            .entries_per_page(geo)
+        };
         assert!(unpartitioned(&small_b) > unpartitioned(&big_b));
     }
 
@@ -149,7 +179,10 @@ mod tests {
             let cfg = GeckoConfig::paper_default(&geo);
             vs.push(cfg.entries_per_page(&geo));
         }
-        assert!(vs.windows(2).all(|w| w[0] == w[1]), "V must be independent of B: {vs:?}");
+        assert!(
+            vs.windows(2).all(|w| w[0] == w[1]),
+            "V must be independent of B: {vs:?}"
+        );
     }
 
     #[test]
@@ -160,6 +193,7 @@ mod tests {
             multiway_merge: true,
             key_bytes: 4,
             page_header_bytes: 32,
+            ..GeckoConfig::default()
         };
         assert_eq!(cfg.level_for(1), 0);
         assert_eq!(cfg.level_for(2), 1);
@@ -167,7 +201,10 @@ mod tests {
         assert_eq!(cfg.level_for(4), 2);
         assert_eq!(cfg.level_for(7), 2);
         assert_eq!(cfg.level_for(8), 3);
-        let t4 = GeckoConfig { size_ratio: 4, ..cfg };
+        let t4 = GeckoConfig {
+            size_ratio: 4,
+            ..cfg
+        };
         assert_eq!(t4.level_for(1), 0);
         assert_eq!(t4.level_for(3), 0);
         assert_eq!(t4.level_for(4), 1);
@@ -194,6 +231,7 @@ mod tests {
             multiway_merge: true,
             key_bytes: 4,
             page_header_bytes: 32,
+            ..GeckoConfig::default()
         };
         cfg.validate(&geo);
     }

@@ -109,7 +109,10 @@ impl GeckoKey {
 
     /// Key of the last sub-entry of a block under partitioning factor `s`.
     pub fn last_of(block: BlockId, s: u32) -> Self {
-        GeckoKey { block, part: (s - 1) as u16 }
+        GeckoKey {
+            block,
+            part: (s - 1) as u16,
+        }
     }
 }
 
@@ -128,12 +131,20 @@ pub struct GeckoEntry {
 impl GeckoEntry {
     /// A blank entry for `key` with `bits`-wide bitmap.
     pub fn blank(key: GeckoKey, bits: u32) -> Self {
-        GeckoEntry { key, bitmap: Bitmap::new(bits), erase_flag: false }
+        GeckoEntry {
+            key,
+            bitmap: Bitmap::new(bits),
+            erase_flag: false,
+        }
     }
 
     /// An erase marker for `key` (Algorithm 2: blank bitmap, flag set).
     pub fn erase_marker(key: GeckoKey, bits: u32) -> Self {
-        GeckoEntry { key, bitmap: Bitmap::new(bits), erase_flag: true }
+        GeckoEntry {
+            key,
+            bitmap: Bitmap::new(bits),
+            erase_flag: true,
+        }
     }
 
     /// Resolve a collision between two entries with the same key during a
@@ -150,7 +161,11 @@ impl GeckoEntry {
         } else {
             let mut bitmap = newer.bitmap.clone();
             bitmap.or_assign(&older.bitmap);
-            GeckoEntry { key: newer.key, bitmap, erase_flag: older.erase_flag }
+            GeckoEntry {
+                key: newer.key,
+                bitmap,
+                erase_flag: older.erase_flag,
+            }
         }
     }
 }
@@ -194,12 +209,33 @@ mod tests {
 
     #[test]
     fn keys_order_by_block_then_part() {
-        let a = GeckoKey { block: BlockId(1), part: 3 };
-        let b = GeckoKey { block: BlockId(2), part: 0 };
-        let c = GeckoKey { block: BlockId(2), part: 1 };
+        let a = GeckoKey {
+            block: BlockId(1),
+            part: 3,
+        };
+        let b = GeckoKey {
+            block: BlockId(2),
+            part: 0,
+        };
+        let c = GeckoKey {
+            block: BlockId(2),
+            part: 1,
+        };
         assert!(a < b && b < c);
-        assert_eq!(GeckoKey::first_of(BlockId(2)), GeckoKey { block: BlockId(2), part: 0 });
-        assert_eq!(GeckoKey::last_of(BlockId(2), 4), GeckoKey { block: BlockId(2), part: 3 });
+        assert_eq!(
+            GeckoKey::first_of(BlockId(2)),
+            GeckoKey {
+                block: BlockId(2),
+                part: 0
+            }
+        );
+        assert_eq!(
+            GeckoKey::last_of(BlockId(2), 4),
+            GeckoKey {
+                block: BlockId(2),
+                part: 3
+            }
+        );
     }
 
     #[test]
@@ -210,7 +246,10 @@ mod tests {
         older.bitmap.set(3);
         let merged = GeckoEntry::merge_collision(&newer, &older);
         assert!(merged.erase_flag);
-        assert!(merged.bitmap.is_empty(), "older bits must be dropped after erase");
+        assert!(
+            merged.bitmap.is_empty(),
+            "older bits must be dropped after erase"
+        );
     }
 
     #[test]

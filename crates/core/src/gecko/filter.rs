@@ -1,0 +1,169 @@
+//! Per-run blocked Bloom filters for the GC-query fast path.
+//!
+//! Table 1 (§3) bounds a GC query at one flash read *per run*; the seed
+//! implementation paid that worst case on every query. A run, however, holds
+//! a sorted snapshot of whichever keys happened to be dirty when it was
+//! written — most runs do not contain most keys, so most of those reads
+//! return nothing. A small RAM-resident filter per run lets a query skip
+//! runs that *cannot* contain the queried `(block, part)` key, turning the
+//! paper's worst-case bound into the common-case cost only when the run
+//! really holds information about the victim block.
+//!
+//! The filter is *blocked* (one cache line of 512 bits per probe, as in
+//! Putze, Sanders & Singler's cache-efficient variant): a first hash picks
+//! the 64-byte block, and all `k` probe bits land inside it, so a negative
+//! lookup costs a single cache miss. Filters are built while a run is being
+//! written (the keys are streaming through anyway), live only in RAM, and
+//! are deliberately **not** persisted: recovery recreates runs with no
+//! filter (`None` at the call sites), which degrades queries back to the
+//! paper's one-probe-per-run bound — still correct — until merges rebuild
+//! them.
+
+use crate::gecko::entry::GeckoKey;
+
+/// Bits per cache-line block (8 × u64 = one 64-byte cache line).
+const BLOCK_BITS: usize = 512;
+const WORDS_PER_BLOCK: usize = BLOCK_BITS / 64;
+
+/// A blocked Bloom filter over [`GeckoKey`]s.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunFilter {
+    words: Box<[u64]>,
+    /// Number of cache-line blocks (power of two).
+    num_blocks: u32,
+    /// Probe bits per key.
+    k: u32,
+}
+
+/// SplitMix64 — cheap, well-mixed; the key space is tiny (block id + part)
+/// so avalanche quality matters more than speed here.
+#[inline]
+fn mix(key: GeckoKey) -> u64 {
+    let raw = ((key.block.0 as u64) << 16) | key.part as u64;
+    let mut z = raw.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl RunFilter {
+    /// A filter sized for `expected_keys` at `bits_per_key` bits each.
+    /// `bits_per_key` must be non-zero (0 means "no filter" and is handled
+    /// by the caller keeping `Option<RunFilter>` as `None`).
+    pub fn new(expected_keys: usize, bits_per_key: u32) -> Self {
+        assert!(bits_per_key > 0, "a 0-bit filter cannot exist; use None");
+        let want_bits = (expected_keys.max(1) as u64) * bits_per_key as u64;
+        let num_blocks = want_bits.div_ceil(BLOCK_BITS as u64).next_power_of_two() as u32;
+        // k ≈ ln2 · bits-per-key, the classic optimum, clamped to [1, 8]:
+        // beyond 8 probes the blocked layout saturates single cache lines.
+        let k = ((bits_per_key as f64 * core::f64::consts::LN_2).round() as u32).clamp(1, 8);
+        RunFilter {
+            words: vec![0u64; num_blocks as usize * WORDS_PER_BLOCK].into_boxed_slice(),
+            num_blocks,
+            k,
+        }
+    }
+
+    #[inline]
+    fn probes(&self, key: GeckoKey) -> (usize, u64, u64) {
+        let h = mix(key);
+        // High bits pick the block; two derived halves drive double hashing
+        // within the block's 512 bits.
+        let block = (h >> 40) as u32 & (self.num_blocks - 1);
+        let h1 = h & 0x1FF;
+        let h2 = (h >> 9) & 0x1FF;
+        (block as usize * WORDS_PER_BLOCK, h1, h2 | 1)
+    }
+
+    /// Add a key.
+    pub fn insert(&mut self, key: GeckoKey) {
+        let (base, h1, h2) = self.probes(key);
+        for i in 0..self.k as u64 {
+            let bit = (h1 + i * h2) % BLOCK_BITS as u64;
+            self.words[base + (bit / 64) as usize] |= 1u64 << (bit % 64);
+        }
+    }
+
+    /// Whether the key *may* be present (false ⇒ definitely absent).
+    #[inline]
+    pub fn may_contain(&self, key: GeckoKey) -> bool {
+        let (base, h1, h2) = self.probes(key);
+        for i in 0..self.k as u64 {
+            let bit = (h1 + i * h2) % BLOCK_BITS as u64;
+            if self.words[base + (bit / 64) as usize] & (1u64 << (bit % 64)) == 0 {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// RAM footprint in bytes (Appendix-B style accounting).
+    pub fn ram_bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::BlockId;
+
+    fn key(b: u32, p: u16) -> GeckoKey {
+        GeckoKey {
+            block: BlockId(b),
+            part: p,
+        }
+    }
+
+    #[test]
+    fn no_false_negatives() {
+        let mut f = RunFilter::new(1000, 8);
+        for b in 0..250u32 {
+            for p in 0..4u16 {
+                f.insert(key(b, p));
+            }
+        }
+        for b in 0..250u32 {
+            for p in 0..4u16 {
+                assert!(f.may_contain(key(b, p)), "false negative at ({b},{p})");
+            }
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let mut f = RunFilter::new(1000, 8);
+        for b in 0..1000u32 {
+            f.insert(key(b, 0));
+        }
+        let fps = (1000..21_000u32)
+            .filter(|b| f.may_contain(key(*b, 0)))
+            .count();
+        // 8 bits/key targets ≈2–3 % for a blocked filter; allow slack.
+        let rate = fps as f64 / 20_000.0;
+        assert!(rate < 0.08, "false positive rate {rate}");
+    }
+
+    #[test]
+    fn sparse_filters_reject_most_keys() {
+        let mut f = RunFilter::new(8, 8);
+        f.insert(key(3, 1));
+        assert!(f.may_contain(key(3, 1)));
+        let hits = (0..256u32).filter(|b| f.may_contain(key(*b, 0))).count();
+        assert!(
+            hits < 32,
+            "sparse filter should reject almost everything, hit {hits}"
+        );
+    }
+
+    #[test]
+    fn sizing_rounds_to_power_of_two_blocks() {
+        for keys in [1usize, 7, 64, 500, 4096] {
+            for bpk in [1u32, 4, 8, 16] {
+                let f = RunFilter::new(keys, bpk);
+                assert!(f.num_blocks.is_power_of_two());
+                assert!(f.ram_bytes() as usize >= keys * bpk as usize / 8 / 2);
+            }
+        }
+    }
+}

@@ -15,11 +15,13 @@
 pub mod analysis;
 pub mod config;
 pub mod entry;
+pub mod filter;
 pub mod run;
 
 pub use analysis::GeckoCostModel;
 pub use config::GeckoConfig;
 pub use entry::{Bitmap, GeckoEntry, GeckoKey};
+pub use filter::RunFilter;
 pub use run::{GeckoPagePayload, Postamble, Run, RunDirEntry, RunId, RunMeta};
 
 use crate::validity::{MetaSink, ValidityStore};
@@ -39,8 +41,29 @@ pub struct LogGecko {
     /// Device sequence number at the most recent buffer flush (0 if never
     /// flushed). Recovery's buffer reconstruction (App. C.2) keys off this.
     last_flush_seq: u64,
+    /// Reusable scratch buffers for the query/flush/merge hot paths, so
+    /// steady-state operation allocates nothing per call.
+    scratch: Scratch,
     /// Lifetime counters for analysis/ablation reporting.
     pub stats: GeckoStats,
+}
+
+/// Preallocated scratch space reused across queries, flushes and merges.
+/// Capacities grow to the workload's high-water mark and stay there.
+#[derive(Debug, Default)]
+struct Scratch {
+    /// Open `(key, result-index)` pairs of the query in flight.
+    open: Vec<(GeckoKey, usize)>,
+    /// Coalesced flash-page probe list for the run under inspection.
+    probe_ppns: Vec<Ppn>,
+    /// Per-participant entry streams for the merge in flight.
+    streams: Vec<Vec<GeckoEntry>>,
+    /// Output accumulator of the merge in flight.
+    merged: Vec<GeckoEntry>,
+    /// One flush chunk (≤ V entries) en route to a run page.
+    chunk: Vec<GeckoEntry>,
+    /// Keys of the flush chunk (two-phase removal from the buffer).
+    chunk_keys: Vec<GeckoKey>,
 }
 
 /// Internal operation counters (not IO — the device tracks IO).
@@ -56,6 +79,13 @@ pub struct GeckoStats {
     pub queries: u64,
     /// Entries dropped as obsolete during merges.
     pub entries_dropped: u64,
+    /// Batched GC query passes served (each covers ≥ 1 block).
+    pub batch_queries: u64,
+    /// Per-key run probes skipped because the run's Bloom filter proved the
+    /// key absent (each skip avoids up to one flash read).
+    pub bloom_skips: u64,
+    /// Flash pages actually read by fence-pointer probes on the fast path.
+    pub fence_probes: u64,
 }
 
 impl LogGecko {
@@ -69,6 +99,7 @@ impl LogGecko {
             buffer: BTreeMap::new(),
             levels,
             last_flush_seq: 0,
+            scratch: Scratch::default(),
             stats: GeckoStats::default(),
         }
     }
@@ -134,22 +165,31 @@ impl LogGecko {
     }
 
     /// Integrated-RAM footprint per Appendix B: run directories (two 4-byte
-    /// words per run page) plus the input/output merge buffers.
+    /// words per run page) plus the input/output merge buffers, plus the
+    /// per-run Bloom filters of the query fast path (not in the paper's
+    /// accounting — reported honestly as part of the validity store).
     pub fn ram_bytes(&self) -> u64 {
         let dir_bytes = 8 * self.total_run_pages();
+        let filter_bytes: u64 = self.runs_newest_first().map(Run::filter_bytes).sum();
         let merge_buffers = if self.cfg.multiway_merge {
             self.geo.page_bytes as u64 * (2 + self.cfg.levels(&self.geo) as u64)
         } else {
             self.geo.page_bytes as u64 * 3
         };
-        dir_bytes + self.geo.page_bytes as u64 + merge_buffers
+        dir_bytes + filter_bytes + self.geo.page_bytes as u64 + merge_buffers
     }
 
     fn key_of(&self, ppn: Ppn) -> (GeckoKey, u32) {
         let block = self.geo.block_of(ppn);
         let off = self.geo.offset_of(ppn).0;
         let sub = self.cfg.sub_bits(&self.geo);
-        (GeckoKey { block, part: (off / sub) as u16 }, off % sub)
+        (
+            GeckoKey {
+                block,
+                part: (off / sub) as u16,
+            },
+            off % sub,
+        )
     }
 
     /// Report an invalidated physical page (Algorithm 1).
@@ -185,8 +225,14 @@ impl LogGecko {
 
     /// GC query (Figure 5): assemble the full B-bit invalid bitmap for
     /// `block` by consulting the buffer and then every run from newest to
-    /// oldest, stopping per sub-key at erase flags. Costs one flash read per
-    /// run that covers a still-open sub-key.
+    /// oldest, stopping per sub-key at erase flags.
+    ///
+    /// On the fast path ([`GeckoConfig::fast_path`]) each run costs at most
+    /// one flash read per *open sub-key present in the run*: the per-run
+    /// Bloom filter skips runs that cannot contain a key, and fence-pointer
+    /// binary search pins each surviving key to its unique page. With the
+    /// fast path off, cost reverts to the paper's bound of one read per run
+    /// covering a still-open sub-key.
     pub fn gc_query(&mut self, dev: &mut FlashDevice, block: BlockId) -> Bitmap {
         self.gc_query_with_purpose(dev, block, IoPurpose::ValidityQuery)
     }
@@ -199,13 +245,200 @@ impl LogGecko {
         purpose: IoPurpose,
     ) -> Bitmap {
         self.stats.queries += 1;
+        if !self.cfg.fast_path {
+            return self.gc_query_legacy(dev, block, purpose);
+        }
+        let mut open = std::mem::take(&mut self.scratch.open);
+        open.clear();
+        for part in 0..self.cfg.partitions as u16 {
+            open.push((GeckoKey { block, part }, 0));
+        }
+        let mut results = [Bitmap::new(self.geo.pages_per_block)];
+        self.query_open_keys(dev, &mut open, &mut results, purpose);
+        self.scratch.open = open;
+        let [result] = results;
+        result
+    }
+
+    /// Batched GC query: the invalid bitmaps of several blocks in one pass
+    /// over the structure. Requested keys are processed in sorted order and
+    /// probes landing on the same flash page are coalesced into a single
+    /// read, so querying `n` victim candidates costs far less than `n`
+    /// independent queries whenever their keys share run pages (always true
+    /// for the small runs at shallow levels).
+    pub fn gc_query_batch(&mut self, dev: &mut FlashDevice, blocks: &[BlockId]) -> Vec<Bitmap> {
+        self.gc_query_batch_with_purpose(dev, blocks, IoPurpose::ValidityQuery)
+    }
+
+    /// [`LogGecko::gc_query_batch`] with an explicit IO purpose.
+    pub fn gc_query_batch_with_purpose(
+        &mut self,
+        dev: &mut FlashDevice,
+        blocks: &[BlockId],
+        purpose: IoPurpose,
+    ) -> Vec<Bitmap> {
+        self.stats.queries += blocks.len() as u64;
+        let b = self.geo.pages_per_block;
+        let mut results: Vec<Bitmap> = blocks.iter().map(|_| Bitmap::new(b)).collect();
+        if blocks.is_empty() {
+            return results;
+        }
+        if !self.cfg.fast_path {
+            for (i, &block) in blocks.iter().enumerate() {
+                results[i] = self.gc_query_legacy(dev, block, purpose);
+            }
+            return results;
+        }
+        self.stats.batch_queries += 1;
+        // Sort requests; duplicate blocks ride along on the first occurrence.
+        let mut order: Vec<(BlockId, usize)> = blocks
+            .iter()
+            .copied()
+            .enumerate()
+            .map(|(i, blk)| (blk, i))
+            .collect();
+        order.sort_unstable();
+        let mut dups: Vec<(usize, usize)> = Vec::new();
+        let mut open = std::mem::take(&mut self.scratch.open);
+        open.clear();
+        let mut prev: Option<(BlockId, usize)> = None;
+        for (blk, i) in order {
+            if let Some((pb, pi)) = prev {
+                if pb == blk {
+                    dups.push((i, pi));
+                    continue;
+                }
+            }
+            prev = Some((blk, i));
+            for part in 0..self.cfg.partitions as u16 {
+                open.push((GeckoKey { block: blk, part }, i));
+            }
+        }
+        self.query_open_keys(dev, &mut open, &mut results, purpose);
+        self.scratch.open = open;
+        for (dup, src) in dups {
+            results[dup] = results[src].clone();
+        }
+        results
+    }
+
+    /// Fast-path query core shared by single and batched GC queries.
+    ///
+    /// `open` holds sorted `(key, result-index)` pairs still awaiting an
+    /// erase flag; bits absorbed for a key land in `results[index]` at
+    /// `part·sub + bit`. Consults the buffer first, then every run newest to
+    /// oldest: the run's Bloom filter vetoes absent keys, fence-pointer
+    /// search pins survivors to their unique page, and probes of distinct
+    /// keys that share a page are coalesced into one flash read.
+    fn query_open_keys(
+        &mut self,
+        dev: &mut FlashDevice,
+        open: &mut Vec<(GeckoKey, usize)>,
+        results: &mut [Bitmap],
+        purpose: IoPurpose,
+    ) {
+        debug_assert!(
+            open.windows(2).all(|w| w[0].0 < w[1].0),
+            "open keys must be sorted"
+        );
+        let sub = self.cfg.sub_bits(&self.geo);
+        // 1. The RAM buffer holds the newest information.
+        let buffer = &self.buffer;
+        open.retain(|&(key, ridx)| match buffer.get(&key) {
+            Some(entry) => {
+                for bit in entry.bitmap.iter_ones() {
+                    results[ridx].set(key.part as u32 * sub + bit);
+                }
+                !entry.erase_flag
+            }
+            None => true,
+        });
+
+        // 2. Runs, newest data first.
+        let mut ppns = std::mem::take(&mut self.scratch.probe_ppns);
+        'runs: for level in &self.levels {
+            for run in level.iter().rev() {
+                if open.is_empty() {
+                    break 'runs;
+                }
+                ppns.clear();
+                // Keys are sorted, so probes arrive in page order; once a
+                // page is queued, every following key up to its fence upper
+                // bound lands on it and needs neither filter nor search (the
+                // common case: one block's S sub-keys share a run page).
+                let mut queued_up_to: Option<GeckoKey> = None;
+                for &(key, _) in open.iter() {
+                    if queued_up_to.is_some_and(|last| key <= last) {
+                        continue;
+                    }
+                    if !run.may_contain(key) {
+                        self.stats.bloom_skips += 1;
+                        continue;
+                    }
+                    if let Some(page) = run.page_for(key) {
+                        debug_assert!(ppns.last() != Some(&page.ppn));
+                        ppns.push(page.ppn);
+                        queued_up_to = Some(page.last);
+                    }
+                }
+                self.stats.fence_probes += ppns.len() as u64;
+                for &ppn in &ppns {
+                    let data = dev
+                        .read_page(ppn, purpose)
+                        .expect("run directory points at a written page");
+                    let payload = data
+                        .blob::<GeckoPagePayload>()
+                        .expect("gecko block page holds a gecko payload");
+                    // Page entries and `open` are both key-sorted: a
+                    // two-pointer merge scan finds matches in one compare
+                    // per entry instead of a binary search per entry.
+                    let mut oi = 0usize;
+                    for entry in &payload.entries {
+                        while oi < open.len() && open[oi].0 < entry.key {
+                            oi += 1;
+                        }
+                        if oi >= open.len() {
+                            break;
+                        }
+                        if open[oi].0 != entry.key {
+                            continue;
+                        }
+                        let ridx = open[oi].1;
+                        for bit in entry.bitmap.iter_ones() {
+                            results[ridx].set(entry.key.part as u32 * sub + bit);
+                        }
+                        if entry.erase_flag {
+                            // Close the key; `oi` now points at the next
+                            // open key, which only larger entries can match.
+                            open.remove(oi);
+                        }
+                    }
+                }
+            }
+        }
+        ppns.clear();
+        self.scratch.probe_ppns = ppns;
+    }
+
+    /// The pre-optimization query algorithm: linear directory scan over the
+    /// contiguous open-key range, no Bloom filters. Kept as the
+    /// [`GeckoConfig::fast_path`]`= false` baseline for A/B benchmarking.
+    fn gc_query_legacy(
+        &mut self,
+        dev: &mut FlashDevice,
+        block: BlockId,
+        purpose: IoPurpose,
+    ) -> Bitmap {
         let s = self.cfg.partitions as usize;
         let sub = self.cfg.sub_bits(&self.geo);
         let mut result = Bitmap::new(self.geo.pages_per_block);
         let mut open = vec![true; s];
         let mut open_count = s;
 
-        let absorb = |entry: &GeckoEntry, open: &mut Vec<bool>, open_count: &mut usize, result: &mut Bitmap| {
+        let absorb = |entry: &GeckoEntry,
+                      open: &mut Vec<bool>,
+                      open_count: &mut usize,
+                      result: &mut Bitmap| {
             let part = entry.key.part as usize;
             if !open[part] {
                 return;
@@ -237,8 +470,14 @@ impl LogGecko {
                 let (Some(lo), Some(hi)) = (lo_part, hi_part) else {
                     return result;
                 };
-                let lo = GeckoKey { block, part: lo as u16 };
-                let hi = GeckoKey { block, part: hi as u16 };
+                let lo = GeckoKey {
+                    block,
+                    part: lo as u16,
+                };
+                let hi = GeckoKey {
+                    block,
+                    part: hi as u16,
+                };
                 let pages: Vec<Ppn> = run.pages_overlapping(lo, hi).map(|p| p.ppn).collect();
                 for ppn in pages {
                     let data = dev
@@ -251,6 +490,56 @@ impl LogGecko {
                         if entry.key.block == block {
                             absorb(entry, &mut open, &mut open_count, &mut result);
                         }
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    /// Probe-every-run oracle: assemble the bitmap by reading **every** page
+    /// of every run, newest first, using no run directories, fence pointers
+    /// or filters. Deliberately the slowest possible correct implementation;
+    /// the property tests check the fast path against it byte-for-byte, and
+    /// the query benchmark uses it as the most pessimistic baseline.
+    pub fn gc_query_naive(&mut self, dev: &mut FlashDevice, block: BlockId) -> Bitmap {
+        let s = self.cfg.partitions as usize;
+        let sub = self.cfg.sub_bits(&self.geo);
+        let mut result = Bitmap::new(self.geo.pages_per_block);
+        let mut open = vec![true; s];
+
+        let mut absorb = |entry: &GeckoEntry, open: &mut Vec<bool>| {
+            if entry.key.block != block {
+                return;
+            }
+            let part = entry.key.part as usize;
+            if !open[part] {
+                return;
+            }
+            for bit in entry.bitmap.iter_ones() {
+                result.set(part as u32 * sub + bit);
+            }
+            if entry.erase_flag {
+                open[part] = false;
+            }
+        };
+
+        for part in 0..s as u16 {
+            if let Some(entry) = self.buffer.get(&GeckoKey { block, part }) {
+                absorb(entry, &mut open);
+            }
+        }
+        for level in &self.levels {
+            for run in level.iter().rev() {
+                for page in &run.pages {
+                    let data = dev
+                        .read_page(page.ppn, IoPurpose::ValidityQuery)
+                        .expect("run directory points at a written page");
+                    let payload = data
+                        .blob::<GeckoPagePayload>()
+                        .expect("gecko block page holds a gecko payload");
+                    for entry in &payload.entries {
+                        absorb(entry, &mut open);
                     }
                 }
             }
@@ -279,37 +568,64 @@ impl LogGecko {
         }
         self.stats.flushes += 1;
         let v = self.buffer_capacity() as usize;
+        // Reused scratch buffers: steady-state flushing allocates nothing.
+        let mut chunk = std::mem::take(&mut self.scratch.chunk);
+        let mut chunk_keys = std::mem::take(&mut self.scratch.chunk_keys);
         while !self.buffer.is_empty() {
-            let chunk_keys: Vec<GeckoKey> = self.buffer.keys().take(v).copied().collect();
-            let entries: Vec<GeckoEntry> = chunk_keys
-                .iter()
-                .map(|k| self.buffer.remove(k).expect("key just listed"))
-                .collect();
-            let run = self.write_run(dev, sink, entries, Vec::new(), None, 0, IoPurpose::ValidityUpdate);
-            debug_assert_eq!(run.meta.level, 0, "a single-page flush run belongs at level 0");
+            chunk_keys.clear();
+            chunk_keys.extend(self.buffer.keys().take(v).copied());
+            chunk.clear();
+            chunk.extend(
+                chunk_keys
+                    .iter()
+                    .map(|k| self.buffer.remove(k).expect("key just listed")),
+            );
+            let run = self.write_run(
+                dev,
+                sink,
+                &mut chunk,
+                Vec::new(),
+                None,
+                0,
+                IoPurpose::ValidityUpdate,
+            );
+            debug_assert_eq!(
+                run.meta.level, 0,
+                "a single-page flush run belongs at level 0"
+            );
             self.last_flush_seq = run.meta.created_seq;
             self.levels[0].push(run);
             self.maybe_merge(dev, sink);
         }
+        self.scratch.chunk = chunk;
+        self.scratch.chunk_keys = chunk_keys;
     }
 
     /// Write a sorted entry sequence as a run, returning its directory.
     /// `min_level` clamps placement so merge output never lands above a
     /// participant's level (which would break the data-age ordering queries
     /// rely on when collisions shrink the output).
+    ///
+    /// `entries` is drained (left empty but with its capacity intact) so
+    /// callers can keep reusing their scratch buffer; the only per-page
+    /// allocation left is the entry vector that becomes the page payload
+    /// itself, which must be owned by the simulated flash page.
     #[allow(clippy::too_many_arguments)] // one call site per flavor; a params struct would obscure the merge path
     fn write_run(
         &mut self,
         dev: &mut FlashDevice,
         sink: &mut dyn MetaSink,
-        entries: Vec<GeckoEntry>,
+        entries: &mut Vec<GeckoEntry>,
         merged_from: Vec<RunId>,
         supersedes_since: Option<u64>,
         min_level: u32,
         purpose: IoPurpose,
     ) -> Run {
         debug_assert!(!entries.is_empty());
-        debug_assert!(entries.windows(2).all(|w| w[0].key < w[1].key), "run entries must be sorted");
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].key < w[1].key),
+            "run entries must be sorted"
+        );
         let v = self.buffer_capacity() as usize;
         // The run id doubles as its creation timestamp: the device sequence
         // number is persistent and strictly monotonic, so ids stay unique
@@ -327,20 +643,25 @@ impl LogGecko {
             supersedes_since: supersedes_since.unwrap_or(created_seq),
         };
 
-        let chunks: Vec<Vec<GeckoEntry>> = entries
-            .chunks(v)
-            .map(|c| c.to_vec())
-            .collect();
+        // Build the run's Bloom filter while the keys stream past anyway.
+        let filter = (self.cfg.bloom_bits_per_key > 0).then(|| {
+            let mut f = RunFilter::new(entries.len(), self.cfg.bloom_bits_per_key);
+            for e in entries.iter() {
+                f.insert(e.key);
+            }
+            f
+        });
+
         let mut dir: Vec<RunDirEntry> = Vec::with_capacity(n_pages);
-        let mut ranges: Vec<(GeckoKey, GeckoKey)> = chunks
-            .iter()
+        let mut ranges: Vec<(GeckoKey, GeckoKey)> = entries
+            .chunks(v)
             .map(|c| (c.first().unwrap().key, c.last().unwrap().key))
             .collect();
-        let mut entry_count = 0u64;
-        let last_index = chunks.len() - 1;
-        for (i, chunk) in chunks.into_iter().enumerate() {
-            entry_count += chunk.len() as u64;
-            let postamble = (i == last_index).then(|| Postamble {
+        let entry_count = entries.len() as u64;
+        let mut drain = entries.drain(..);
+        for i in 0..n_pages {
+            let chunk: Vec<GeckoEntry> = drain.by_ref().take(v).collect();
+            let postamble = (i == n_pages - 1).then(|| Postamble {
                 total_pages: n_pages as u32,
                 ranges: std::mem::take(&mut ranges),
                 ppns: dir.iter().map(|d| d.ppn).collect(),
@@ -353,10 +674,22 @@ impl LogGecko {
                 preamble: (i == 0).then(|| meta.clone()),
                 postamble,
             };
-            let ppn = sink.append_meta(dev, MetaKind::GeckoRun, id.0, PageData::blob_of(payload), purpose);
+            let ppn = sink.append_meta(
+                dev,
+                MetaKind::GeckoRun,
+                id.0,
+                PageData::blob_of(payload),
+                purpose,
+            );
             dir.push(RunDirEntry { ppn, first, last });
         }
-        Run { meta, pages: dir, entry_count }
+        drop(drain);
+        Run {
+            meta,
+            pages: dir,
+            entry_count,
+            filter,
+        }
     }
 
     /// Merge until no level holds two runs (§3.1, Appendix A).
@@ -389,7 +722,12 @@ impl LogGecko {
     }
 
     /// Merge a set of runs into one, discarding obsolete entries.
-    fn merge_runs(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, mut participants: Vec<Run>) {
+    fn merge_runs(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+        mut participants: Vec<Run>,
+    ) {
         self.stats.merges += 1;
         // Newest data first, so pairwise collision resolution can fold
         // older entries into newer ones (Algorithm 3). Data age is ordered
@@ -413,26 +751,30 @@ impl LogGecko {
         let output_is_largest = deepest_occupied.is_none_or(|d| deepest >= d);
 
         // Read all participant pages (charged as merge IO), collect entry
-        // streams in data-age order.
-        let mut streams: Vec<Vec<GeckoEntry>> = Vec::with_capacity(participants.len());
-        for run in &participants {
-            let mut entries = Vec::with_capacity(run.entry_count as usize);
+        // streams in data-age order. Stream buffers are reused across
+        // merges (grown once to the workload's high-water mark).
+        let mut stream_pool = std::mem::take(&mut self.scratch.streams);
+        while stream_pool.len() < participants.len() {
+            stream_pool.push(Vec::new());
+        }
+        let streams = &mut stream_pool[..participants.len()];
+        for (run, entries) in participants.iter().zip(streams.iter_mut()) {
+            entries.clear();
+            entries.reserve(run.entry_count as usize);
             for page in &run.pages {
                 let data = dev
                     .read_page(page.ppn, IoPurpose::ValidityMerge)
                     .expect("run page readable during merge");
-                let payload = data
-                    .blob::<GeckoPagePayload>()
-                    .expect("gecko page payload");
+                let payload = data.blob::<GeckoPagePayload>().expect("gecko page payload");
                 entries.extend(payload.entries.iter().cloned());
             }
-            streams.push(entries);
         }
 
         // K-way sorted merge with collision folding. Streams are ordered
         // newest-first, so on key ties the lowest stream index is newest.
         let mut cursors = vec![0usize; streams.len()];
-        let mut merged: Vec<GeckoEntry> = Vec::new();
+        let mut merged = std::mem::take(&mut self.scratch.merged);
+        merged.clear();
         loop {
             let mut min_key: Option<GeckoKey> = None;
             for (s, stream) in streams.iter().enumerate() {
@@ -479,7 +821,9 @@ impl LogGecko {
                 sink.meta_page_obsolete(dev, page.ppn);
             }
         }
+        self.scratch.streams = stream_pool;
         if merged.is_empty() {
+            self.scratch.merged = merged;
             return;
         }
         let merged_from = participants.iter().map(|r| r.meta.id).collect();
@@ -491,12 +835,13 @@ impl LogGecko {
         let run = self.write_run(
             dev,
             sink,
-            merged,
+            &mut merged,
             merged_from,
             Some(supersedes_since),
             deepest,
             IoPurpose::ValidityMerge,
         );
+        self.scratch.merged = merged;
         let level = run.meta.level as usize;
         while self.levels.len() <= level {
             self.levels.push(Vec::new());
@@ -517,7 +862,9 @@ impl LogGecko {
         let b = self.geo.pages_per_block;
         let mut closed: HashSet<GeckoKey> = HashSet::new();
         let mut result: HashMap<BlockId, Bitmap> = HashMap::new();
-        let absorb = |entry: &GeckoEntry, closed: &mut HashSet<GeckoKey>, result: &mut HashMap<BlockId, Bitmap>| {
+        let absorb = |entry: &GeckoEntry,
+                      closed: &mut HashSet<GeckoKey>,
+                      result: &mut HashMap<BlockId, Bitmap>| {
             if closed.contains(&entry.key) {
                 return;
             }
@@ -537,7 +884,9 @@ impl LogGecko {
         for level in &self.levels {
             for run in level.iter().rev() {
                 for page in &run.pages {
-                    let data = dev.read_page(page.ppn, purpose).expect("live run page readable");
+                    let data = dev
+                        .read_page(page.ppn, purpose)
+                        .expect("live run page readable");
                     let payload = data.blob::<GeckoPagePayload>().expect("gecko page payload");
                     for entry in &payload.entries {
                         absorb(entry, &mut closed, &mut result);
@@ -596,8 +945,22 @@ impl ValidityStore for LogGecko {
         LogGecko::note_erase(self, dev, sink, block);
     }
 
-    fn gc_query(&mut self, dev: &mut FlashDevice, _sink: &mut dyn MetaSink, block: BlockId) -> Bitmap {
+    fn gc_query(
+        &mut self,
+        dev: &mut FlashDevice,
+        _sink: &mut dyn MetaSink,
+        block: BlockId,
+    ) -> Bitmap {
         LogGecko::gc_query(self, dev, block)
+    }
+
+    fn gc_query_batch(
+        &mut self,
+        dev: &mut FlashDevice,
+        _sink: &mut dyn MetaSink,
+        blocks: &[BlockId],
+    ) -> Vec<Bitmap> {
+        LogGecko::gc_query_batch(self, dev, blocks)
     }
 
     fn ram_bytes(&self) -> u64 {
@@ -670,6 +1033,7 @@ mod tests {
             // Leave room for ~6 entries per page: shrink the usable space
             // via a huge header so flushes/merges happen at test scale.
             page_header_bytes: 4096 - 40,
+            ..GeckoConfig::default()
         }
     }
 
@@ -710,7 +1074,9 @@ mod tests {
         // Invalidate a deterministic pseudo-random page sequence.
         let mut x: u64 = 42;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = (x >> 33) % (32 * geo.pages_per_block as u64); // user area only
             let ppn = Ppn(page as u32);
             gecko.mark_invalid(&mut dev, &mut sink, ppn);
@@ -731,7 +1097,9 @@ mod tests {
             let mut model = Model::default();
             let mut x: u64 = 7;
             for i in 0..3000u64 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 let choice = x >> 60;
                 if choice < 3 && i % 7 == 3 {
                     let b = BlockId(((x >> 20) % 32) as u32);
@@ -762,7 +1130,9 @@ mod tests {
             let mut model = Model::default();
             let mut x: u64 = 1234 + s as u64;
             for _ in 0..1500 {
-                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
                 if x >> 62 == 0 {
                     let b = BlockId(((x >> 20) % 32) as u32);
                     gecko.note_erase(&mut dev, &mut sink, b);
@@ -784,7 +1154,9 @@ mod tests {
         let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
         let mut x: u64 = 99;
         for _ in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = (x >> 33) % (32 * geo.pages_per_block as u64);
             gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
             // After each operation (merges run synchronously), each level
@@ -800,7 +1172,9 @@ mod tests {
         let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
         let mut x: u64 = 5;
         for _ in 0..4000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = (x >> 33) % (32 * geo.pages_per_block as u64);
             gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
         }
@@ -821,7 +1195,9 @@ mod tests {
         let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
         let mut x: u64 = 17;
         for _ in 0..20_000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = (x >> 33) % (32 * geo.pages_per_block as u64);
             gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
         }
@@ -841,7 +1217,9 @@ mod tests {
         let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
         let mut x: u64 = 3;
         for _ in 0..3000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = (x >> 33) % (32 * geo.pages_per_block as u64);
             gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
         }
@@ -858,7 +1236,9 @@ mod tests {
         let mut model = Model::default();
         let mut x: u64 = 77;
         for _ in 0..2500 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let page = (x >> 33) % (32 * geo.pages_per_block as u64);
             gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
             model.mark_invalid(&geo, Ppn(page as u32));
@@ -878,7 +1258,9 @@ mod tests {
         let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
         let mut x: u64 = 21;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             if x >> 62 == 0 {
                 gecko.note_erase(&mut dev, &mut sink, BlockId(((x >> 20) % 32) as u32));
             } else {

@@ -17,6 +17,7 @@
 //! costs exactly one flash write.
 
 use crate::gecko::entry::{GeckoEntry, GeckoKey};
+use crate::gecko::filter::RunFilter;
 use flash_sim::Ppn;
 
 /// Unique identifier of a run, assigned at creation and never reused.
@@ -64,6 +65,12 @@ pub struct Run {
     pub pages: Vec<RunDirEntry>,
     /// Total number of Gecko entries stored in the run.
     pub entry_count: u64,
+    /// RAM-resident blocked Bloom filter over the run's keys, built at
+    /// flush/merge time. `None` for recovered runs (the filter is not
+    /// persisted — see [`crate::gecko::filter`]) and when
+    /// [`crate::gecko::GeckoConfig::bloom_bits_per_key`] is 0; queries then
+    /// fall back to the paper's probe-every-run bound.
+    pub filter: Option<RunFilter>,
 }
 
 impl Run {
@@ -72,13 +79,38 @@ impl Run {
         self.pages.len() as u64
     }
 
-    /// Directory entries for pages whose key range intersects `[lo, hi]`.
+    /// Whether the run may contain `key` (false ⇒ definitely absent).
+    /// Runs without a filter conservatively answer `true`.
+    #[inline]
+    pub fn may_contain(&self, key: GeckoKey) -> bool {
+        self.filter.as_ref().is_none_or(|f| f.may_contain(key))
+    }
+
+    /// RAM used by the run's Bloom filter, in bytes.
+    pub fn filter_bytes(&self) -> u64 {
+        self.filter.as_ref().map_or(0, RunFilter::ram_bytes)
+    }
+
+    /// Directory entries for pages whose key range intersects `[lo, hi]`,
+    /// found by binary search over the fence pointers (pages are in key
+    /// order, so the overlap set is one contiguous slice).
     pub fn pages_overlapping(
         &self,
         lo: GeckoKey,
         hi: GeckoKey,
     ) -> impl Iterator<Item = &RunDirEntry> {
-        self.pages.iter().filter(move |p| p.first <= hi && p.last >= lo)
+        let start = self.pages.partition_point(|p| p.last < lo);
+        let end = self.pages.partition_point(|p| p.first <= hi);
+        self.pages[start..end.max(start)].iter()
+    }
+
+    /// The unique page that can hold `key`, via binary search over the
+    /// fence pointers (keys are unique within a run, so at most one page
+    /// qualifies). `None` if the key falls outside every page's range.
+    #[inline]
+    pub fn page_for(&self, key: GeckoKey) -> Option<&RunDirEntry> {
+        let i = self.pages.partition_point(|p| p.last < key);
+        self.pages.get(i).filter(|p| p.first <= key)
     }
 }
 
@@ -121,18 +153,32 @@ mod tests {
     use flash_sim::BlockId;
 
     fn key(b: u32, p: u16) -> GeckoKey {
-        GeckoKey { block: BlockId(b), part: p }
+        GeckoKey {
+            block: BlockId(b),
+            part: p,
+        }
     }
 
     fn run_with_pages(ranges: &[(GeckoKey, GeckoKey)]) -> Run {
         Run {
-            meta: RunMeta { id: RunId(1), level: 0, created_seq: 1, merged_from: vec![], supersedes_since: 1 },
+            meta: RunMeta {
+                id: RunId(1),
+                level: 0,
+                created_seq: 1,
+                merged_from: vec![],
+                supersedes_since: 1,
+            },
             pages: ranges
                 .iter()
                 .enumerate()
-                .map(|(i, (f, l))| RunDirEntry { ppn: Ppn(i as u32), first: *f, last: *l })
+                .map(|(i, (f, l))| RunDirEntry {
+                    ppn: Ppn(i as u32),
+                    first: *f,
+                    last: *l,
+                })
                 .collect(),
             entry_count: 0,
+            filter: None,
         }
     }
 
@@ -151,5 +197,34 @@ mod tests {
         assert_eq!(hits.len(), 2);
         // No overlap.
         assert_eq!(run.pages_overlapping(key(40, 0), key(40, 3)).count(), 0);
+    }
+
+    #[test]
+    fn fence_search_agrees_with_linear_scan() {
+        let run = run_with_pages(&[
+            (key(0, 0), key(9, 3)),
+            (key(10, 0), key(19, 3)),
+            (key(20, 0), key(29, 3)),
+            (key(40, 0), key(49, 3)),
+        ]);
+        for b in 0..60u32 {
+            for p in 0..4u16 {
+                let k = key(b, p);
+                let linear = run.pages.iter().find(|pg| pg.first <= k && k <= pg.last);
+                assert_eq!(run.page_for(k), linear, "page_for({b},{p})");
+                // Overlap with a one-key range must agree too.
+                let by_range: Vec<_> = run.pages_overlapping(k, k).collect();
+                assert_eq!(by_range.len(), linear.is_some() as usize);
+            }
+        }
+        // Gap between pages: key 35 belongs to no page.
+        assert_eq!(run.page_for(key(35, 0)), None);
+    }
+
+    #[test]
+    fn filterless_run_conservatively_may_contain() {
+        let run = run_with_pages(&[(key(0, 0), key(9, 3))]);
+        assert!(run.may_contain(key(99, 0)));
+        assert_eq!(run.filter_bytes(), 0);
     }
 }

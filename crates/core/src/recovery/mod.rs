@@ -34,9 +34,7 @@ use crate::ftl::block_manager::{BlockGroup, BlockManager, BlockState};
 use crate::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
 use crate::gecko::{GeckoConfig, GeckoPagePayload, LogGecko, Run, RunDirEntry, RunMeta};
 use crate::translation::{TranslationPagePayload, TranslationTable};
-use flash_sim::{
-    BlockId, FlashDevice, IoPurpose, MetaKind, PageOffset, Ppn, SpareInfo,
-};
+use flash_sim::{BlockId, FlashDevice, IoPurpose, MetaKind, PageOffset, Ppn, SpareInfo};
 use std::collections::{HashMap, HashSet};
 
 /// The eight steps of GeckoRec, for per-step cost reporting.
@@ -148,7 +146,11 @@ pub fn gecko_recover(
     for b in geo.iter_blocks() {
         let written = dev.written_pages(b);
         if written == 0 {
-            bid.push(BidEntry { group: None, first_seq: 0, written });
+            bid.push(BidEntry {
+                group: None,
+                first_seq: 0,
+                written,
+            });
             continue;
         }
         let spare = dev
@@ -159,7 +161,11 @@ pub fn gecko_recover(
             SpareInfo::Translation { .. } => BlockGroup::Translation,
             SpareInfo::Meta { kind, .. } => BlockGroup::Meta(kind),
         };
-        bid.push(BidEntry { group: Some(group), first_seq: spare.seq, written });
+        bid.push(BidEntry {
+            group: Some(group),
+            first_seq: spare.seq,
+            written,
+        });
     }
     report.steps.push((RecoveryStep::Bid, timer.stop(&dev)));
 
@@ -174,7 +180,9 @@ pub fn gecko_recover(
         }
         for off in 0..bid[b.0 as usize].written {
             let ppn = geo.ppn(b, PageOffset(off));
-            let spare = dev.read_spare(ppn, IoPurpose::Recovery).expect("written page");
+            let spare = dev
+                .read_spare(ppn, IoPurpose::Recovery)
+                .expect("written page");
             let SpareInfo::Translation { tpage } = spare.info else {
                 panic!("translation block holds {:?}", spare.info)
             };
@@ -198,7 +206,9 @@ pub fn gecko_recover(
         .flat_map(|r| r.pages.iter().map(|p| p.ppn))
         .collect();
     let mut gecko = LogGecko::from_recovered(geo, gecko_cfg, runs);
-    report.steps.push((RecoveryStep::RunDirectories, timer.stop(&dev)));
+    report
+        .steps
+        .push((RecoveryStep::RunDirectories, timer.stop(&dev)));
 
     // ---- Step 4: buffer. -------------------------------------------------
     let timer = StepTimer::start(&dev);
@@ -221,13 +231,21 @@ pub fn gecko_recover(
     // flush against their predecessors; every mapping change names a
     // physical page that was invalidated after the flush.
     for versions in &tpage_versions {
-        let newer: Vec<(u64, Ppn)> = versions.iter().copied().filter(|(s, _)| *s > threshold).collect();
+        let newer: Vec<(u64, Ppn)> = versions
+            .iter()
+            .copied()
+            .filter(|(s, _)| *s > threshold)
+            .collect();
         if newer.is_empty() {
             continue;
         }
         // Chain: newest version at or before the threshold (if any), then
         // every later version in order.
-        let base = versions.iter().rev().find(|(s, _)| *s <= threshold).copied();
+        let base = versions
+            .iter()
+            .rev()
+            .find(|(s, _)| *s <= threshold)
+            .copied();
         let mut chain: Vec<Option<(u64, Ppn)>> = vec![base];
         chain.extend(newer.into_iter().map(Some));
         for pair in chain.windows(2) {
@@ -273,9 +291,9 @@ pub fn gecko_recover(
         state[b.0 as usize] = BlockState::InUse(group);
         bvc[b.0 as usize] = match group {
             BlockGroup::User => {
-                let invalid = invalid_maps
-                    .get(&b)
-                    .map_or(0, |bm| (0..entry.written).filter(|&i| bm.get(i)).count() as u32);
+                let invalid = invalid_maps.get(&b).map_or(0, |bm| {
+                    (0..entry.written).filter(|&i| bm.get(i)).count() as u32
+                });
                 entry.written - invalid
             }
             BlockGroup::Translation => (0..entry.written)
@@ -307,7 +325,9 @@ pub fn gecko_recover(
             continue;
         }
         let last = geo.ppn(b, PageOffset(entry.written - 1));
-        let spare = dev.read_spare(last, IoPurpose::Recovery).expect("written page");
+        let spare = dev
+            .read_spare(last, IoPurpose::Recovery)
+            .expect("written page");
         user_blocks.push((spare.seq, b));
     }
     user_blocks.sort_unstable_by_key(|(seq, _)| std::cmp::Reverse(*seq));
@@ -321,7 +341,9 @@ pub fn gecko_recover(
             // One checkpoint epoch can overshoot the period by at most one
             // GC victim's worth of migrations (the clock is honored between
             // victims), hence the small O(B) cushion.
-            period.saturating_mul(2).saturating_add(4 * geo.pages_per_block as u64)
+            period
+                .saturating_mul(2)
+                .saturating_add(4 * geo.pages_per_block as u64)
         }
         _ => u64::MAX,
     };
@@ -335,7 +357,9 @@ pub fn gecko_recover(
         let written = bid[b.0 as usize].written;
         for off in (0..written).rev() {
             let ppn = geo.ppn(b, PageOffset(off));
-            let spare = dev.read_spare(ppn, IoPurpose::Recovery).expect("written page");
+            let spare = dev
+                .read_spare(ppn, IoPurpose::Recovery)
+                .expect("written page");
             // The scan serves two purposes with two horizons. Dirty-entry
             // recreation needs the checkpoint-bounded window. Re-deriving
             // the buffer's *immediate* invalidation reports (the
@@ -387,15 +411,13 @@ pub fn gecko_recover(
     for e in recreated.into_iter().rev() {
         cache.insert(e);
     }
-    report.steps.push((RecoveryStep::DirtyEntries, timer.stop(&dev)));
+    report
+        .steps
+        .push((RecoveryStep::DirtyEntries, timer.stop(&dev)));
 
     // ---- Step 8: reassemble and resume. -----------------------------------
-    let mut bm = BlockManager::from_recovered(
-        geo,
-        state,
-        bvc,
-        cfg.gc_policy == GcPolicy::MetadataAware,
-    );
+    let mut bm =
+        BlockManager::from_recovered(geo, state, bvc, cfg.gc_policy == GcPolicy::MetadataAware);
     // Re-adopt each group's partially written block as its active block.
     for b in geo.iter_blocks() {
         let entry = &bid[b.0 as usize];
@@ -442,8 +464,14 @@ fn recover_runs(dev: &mut FlashDevice, bid: &[BidEntry]) -> Vec<Run> {
         }
         for off in 0..entry.written {
             let ppn = geo.ppn(b, PageOffset(off));
-            let spare = dev.read_spare(ppn, IoPurpose::Recovery).expect("written page");
-            let SpareInfo::Meta { kind: MetaKind::GeckoRun, tag } = spare.info else {
+            let spare = dev
+                .read_spare(ppn, IoPurpose::Recovery)
+                .expect("written page");
+            let SpareInfo::Meta {
+                kind: MetaKind::GeckoRun,
+                tag,
+            } = spare.info
+            else {
                 panic!("gecko block holds {:?}", spare.info)
             };
             run_pages.entry(tag).or_default().push((spare.seq, ppn));
@@ -493,7 +521,11 @@ fn recover_runs(dev: &mut FlashDevice, bid: &[BidEntry]) -> Vec<Run> {
             .zip(ppns)
             .map(|(&(first, last), ppn)| RunDirEntry { ppn, first, last })
             .collect();
-        candidates.push(Candidate { meta, pages: dir, entry_count });
+        candidates.push(Candidate {
+            meta,
+            pages: dir,
+            entry_count,
+        });
     }
 
     // Liveness: walk newest-first. Every accepted run supersedes all runs
@@ -509,7 +541,15 @@ fn recover_runs(dev: &mut FlashDevice, bid: &[BidEntry]) -> Vec<Run> {
             continue; // folded into an already-accepted (newer) run
         }
         min_supersedes = min_supersedes.min(c.meta.supersedes_since);
-        live.push(Run { meta: c.meta, pages: c.pages, entry_count: c.entry_count });
+        // Bloom filters are RAM-only and not persisted; recovered runs carry
+        // none (queries stay correct at the paper's probe-per-run bound)
+        // until merges rebuild them.
+        live.push(Run {
+            meta: c.meta,
+            pages: c.pages,
+            entry_count: c.entry_count,
+            filter: None,
+        });
     }
     live
 }

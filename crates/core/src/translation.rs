@@ -66,7 +66,10 @@ pub struct TranslationTable {
 impl TranslationTable {
     /// An unformatted table (all GMD slots empty).
     pub fn new(geo: Geometry) -> Self {
-        TranslationTable { geo, gmd: vec![None; geo.translation_pages() as usize] }
+        TranslationTable {
+            geo,
+            gmd: vec![None; geo.translation_pages() as usize],
+        }
     }
 
     /// Rebuild from a recovered GMD (Appendix C step 2).
@@ -80,7 +83,10 @@ impl TranslationTable {
     pub fn format(&mut self, dev: &mut FlashDevice, bm: &mut BlockManager) {
         let per = self.geo.entries_per_translation_page();
         for tpage in 0..self.gmd.len() as u32 {
-            let payload = TranslationPagePayload { tpage, entries: vec![UNMAPPED; per as usize] };
+            let payload = TranslationPagePayload {
+                tpage,
+                entries: vec![UNMAPPED; per as usize],
+            };
             let ppn = bm.append(
                 dev,
                 BlockGroup::Translation,
@@ -123,7 +129,9 @@ impl TranslationTable {
     pub fn lookup(&self, dev: &mut FlashDevice, lpn: Lpn, purpose: IoPurpose) -> Option<Ppn> {
         let tpage = self.tpage_of(lpn);
         let loc = self.gmd[tpage as usize]?;
-        let data = dev.read_page(loc, purpose).expect("GMD points at a written page");
+        let data = dev
+            .read_page(loc, purpose)
+            .expect("GMD points at a written page");
         let payload = data
             .blob::<TranslationPagePayload>()
             .expect("translation block page holds a translation payload");
@@ -234,7 +242,10 @@ mod tests {
         for t in 0..tt.num_tpages() {
             assert!(tt.tpage_location(t).is_some());
         }
-        assert_eq!(tt.lookup(&mut dev, Lpn(0), IoPurpose::TranslationFetch), None);
+        assert_eq!(
+            tt.lookup(&mut dev, Lpn(0), IoPurpose::TranslationFetch),
+            None
+        );
     }
 
     #[test]
@@ -243,11 +254,17 @@ mod tests {
         let out = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(3), Ppn(77))], false);
         assert_eq!(out.before_images, vec![(Lpn(3), None)]);
         assert!(!out.aborted);
-        assert_eq!(tt.lookup(&mut dev, Lpn(3), IoPurpose::TranslationFetch), Some(Ppn(77)));
+        assert_eq!(
+            tt.lookup(&mut dev, Lpn(3), IoPurpose::TranslationFetch),
+            Some(Ppn(77))
+        );
 
         let out2 = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(3), Ppn(99))], false);
         assert_eq!(out2.before_images, vec![(Lpn(3), Some(Ppn(77)))]);
-        assert_eq!(tt.lookup(&mut dev, Lpn(3), IoPurpose::TranslationFetch), Some(Ppn(99)));
+        assert_eq!(
+            tt.lookup(&mut dev, Lpn(3), IoPurpose::TranslationFetch),
+            Some(Ppn(99))
+        );
     }
 
     #[test]
@@ -291,11 +308,20 @@ mod tests {
     fn mixed_false_alarm_and_genuine_update() {
         let (mut dev, mut bm, mut tt) = setup();
         tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50))], false);
-        let out = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50)), (Lpn(2), Ppn(60))], true);
+        let out = tt.synchronize(
+            &mut dev,
+            &mut bm,
+            0,
+            &[(Lpn(1), Ppn(50)), (Lpn(2), Ppn(60))],
+            true,
+        );
         assert!(!out.aborted);
         assert_eq!(out.already_synced, vec![Lpn(1)]);
         assert_eq!(out.before_images, vec![(Lpn(2), None)]);
-        assert_eq!(tt.lookup(&mut dev, Lpn(2), IoPurpose::TranslationFetch), Some(Ppn(60)));
+        assert_eq!(
+            tt.lookup(&mut dev, Lpn(2), IoPurpose::TranslationFetch),
+            Some(Ppn(60))
+        );
     }
 
     #[test]
@@ -305,7 +331,10 @@ mod tests {
         let old = tt.tpage_location(0).unwrap();
         tt.migrate_tpage(&mut dev, &mut bm, 0);
         assert_ne!(tt.tpage_location(0), Some(old));
-        assert_eq!(tt.lookup(&mut dev, Lpn(4), IoPurpose::TranslationFetch), Some(Ppn(123)));
+        assert_eq!(
+            tt.lookup(&mut dev, Lpn(4), IoPurpose::TranslationFetch),
+            Some(Ppn(123))
+        );
     }
 
     #[test]

@@ -60,7 +60,30 @@ pub trait ValidityStore {
 
     /// GC query: return the invalid-page bitmap for `block` (bit set ⇒ page
     /// invalid), as of all reports made so far.
-    fn gc_query(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, block: BlockId) -> Bitmap;
+    fn gc_query(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+        block: BlockId,
+    ) -> Bitmap;
+
+    /// Batched GC query: the invalid bitmaps of several blocks, in input
+    /// order, all as of the same point in time. The engine uses this to
+    /// prefetch bitmaps for a whole GC burst's victim candidates in one
+    /// pass. Stores with a flash-resident structure should override it to
+    /// coalesce probes that land on the same flash page (Logarithmic Gecko
+    /// does); the default just loops.
+    fn gc_query_batch(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+        blocks: &[BlockId],
+    ) -> Vec<Bitmap> {
+        blocks
+            .iter()
+            .map(|b| self.gc_query(dev, sink, *b))
+            .collect()
+    }
 
     /// Integrated-RAM footprint of the store's RAM-resident state, in bytes,
     /// using the paper's accounting (Appendix B).
@@ -81,7 +104,12 @@ pub trait ValidityStore {
     /// engine can erase it (greedy GC of flash-resident PVB pages, µ-FTL).
     /// Only called for blocks of the [`ValidityStore::collectable_meta`]
     /// kind.
-    fn collect_meta_block(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, block: BlockId) {
+    fn collect_meta_block(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+        block: BlockId,
+    ) {
         let _ = (dev, sink, block);
         unreachable!("store declared no collectable metadata");
     }
@@ -113,7 +141,12 @@ impl FlatMetaSink {
     /// A sink writing into the given blocks in order.
     pub fn new(blocks: Vec<BlockId>) -> Self {
         let n = blocks.len();
-        FlatMetaSink { blocks, current: 0, obsolete_count: vec![0; n], obsoleted: 0 }
+        FlatMetaSink {
+            blocks,
+            current: 0,
+            obsolete_count: vec![0; n],
+            obsoleted: 0,
+        }
     }
 }
 
@@ -140,7 +173,12 @@ impl MetaSink for FlatMetaSink {
                 }
             }
             return dev
-                .write_page(block, data, flash_sim::SpareInfo::Meta { kind, tag }, purpose)
+                .write_page(
+                    block,
+                    data,
+                    flash_sim::SpareInfo::Meta { kind, tag },
+                    purpose,
+                )
                 .expect("append to non-full block succeeds");
         }
         panic!("FlatMetaSink: no reusable block among {n} provisioned");

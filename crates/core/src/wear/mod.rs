@@ -99,7 +99,11 @@ impl WearLeveler {
             self.cursor += 1;
             if self.cursor == self.geo.blocks {
                 self.stats = WearStats {
-                    min_erases: if self.acc_min == u32::MAX { 0 } else { self.acc_min },
+                    min_erases: if self.acc_min == u32::MAX {
+                        0
+                    } else {
+                        self.acc_min
+                    },
                     max_erases: self.acc_max,
                     avg_erases: self.acc_sum as f64 / self.geo.blocks as f64,
                     scans_completed: self.stats.scans_completed + 1,
@@ -140,7 +144,10 @@ impl WearLeveler {
     /// Among free blocks, the least worn one — dynamic wear-leveling's
     /// preferred allocation target for hot data.
     pub fn least_worn(&self, dev: &FlashDevice, candidates: &[BlockId]) -> Option<BlockId> {
-        candidates.iter().copied().min_by_key(|b| dev.erase_count(*b))
+        candidates
+            .iter()
+            .copied()
+            .min_by_key(|b| dev.erase_count(*b))
     }
 }
 
@@ -176,8 +183,14 @@ mod tests {
         let mut dev = FlashDevice::new(geo);
         dev.write_page(
             BlockId(0),
-            flash_sim::PageData::User { lpn: flash_sim::Lpn(0), version: 1 },
-            flash_sim::SpareInfo::User { lpn: flash_sim::Lpn(0), before: None },
+            flash_sim::PageData::User {
+                lpn: flash_sim::Lpn(0),
+                version: 1,
+            },
+            flash_sim::SpareInfo::User {
+                lpn: flash_sim::Lpn(0),
+                before: None,
+            },
             IoPurpose::UserWrite,
         )
         .unwrap();
@@ -205,8 +218,14 @@ mod tests {
         for i in 0..geo.pages_per_block {
             dev.write_page(
                 BlockId(5),
-                flash_sim::PageData::User { lpn: flash_sim::Lpn(i), version: 1 },
-                flash_sim::SpareInfo::User { lpn: flash_sim::Lpn(i), before: None },
+                flash_sim::PageData::User {
+                    lpn: flash_sim::Lpn(i),
+                    version: 1,
+                },
+                flash_sim::SpareInfo::User {
+                    lpn: flash_sim::Lpn(i),
+                    before: None,
+                },
                 IoPurpose::UserWrite,
             )
             .unwrap();

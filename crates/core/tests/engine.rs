@@ -12,7 +12,10 @@ use std::collections::HashMap;
 struct Lcg(u64);
 impl Lcg {
     fn next(&mut self) -> u64 {
-        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.0 >> 33
     }
 }
@@ -47,7 +50,11 @@ fn run_workload(engine: &mut FtlEngine, oracle: &mut HashMap<u32, u64>, rng: &mu
         if rng.next().is_multiple_of(4) {
             let read_lpn = (rng.next() % logical as u64) as u32;
             let got = engine.read(Lpn(read_lpn));
-            assert_eq!(got, oracle.get(&read_lpn).copied(), "read-your-writes for L{read_lpn}");
+            assert_eq!(
+                got,
+                oracle.get(&read_lpn).copied(),
+                "read-your-writes for L{read_lpn}"
+            );
         }
     }
 }
@@ -69,7 +76,10 @@ fn read_your_writes_under_gc_pressure() {
     let mut oracle = HashMap::new();
     let mut rng = Lcg(0xDEADBEEF);
     run_workload(&mut engine, &mut oracle, &mut rng, 6000);
-    assert!(engine.counters.gc_operations > 20, "workload must trigger GC");
+    assert!(
+        engine.counters.gc_operations > 20,
+        "workload must trigger GC"
+    );
     assert!(engine.counters.checkpoints > 0, "workload must checkpoint");
     verify_all(&mut engine, &oracle);
 }
@@ -103,7 +113,10 @@ fn crash_and_recover_preserves_all_data() {
     let dev = engine.crash();
     let (mut recovered, report) = gecko_recover(dev, cfg, gecko_cfg);
 
-    assert!(report.recovered_entries > 0, "recent writes must be rediscovered");
+    assert!(
+        report.recovered_entries > 0,
+        "recent writes must be rediscovered"
+    );
     verify_all(&mut recovered, &oracle);
 
     // The device keeps operating correctly after recovery, including the
@@ -354,7 +367,10 @@ fn crash_immediately_after_single_write() {
     let gecko_cfg = engine.backend().gecko().expect("gecko").config();
     let dev = engine.crash();
     let (mut recovered, report) = gecko_recover(dev, cfg, gecko_cfg);
-    assert_eq!(report.recovered_entries, 1, "the lone dirty write must be found");
+    assert_eq!(
+        report.recovered_entries, 1,
+        "the lone dirty write must be found"
+    );
     assert_eq!(recovered.read(Lpn(5)), Some(42));
     assert_eq!(recovered.read(Lpn(6)), None);
 }

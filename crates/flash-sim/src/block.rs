@@ -53,13 +53,21 @@ impl Block {
         self.erase_seq
     }
 
-    pub(crate) fn append(&mut self, id: BlockId, data: PageData, spare: Spare) -> Result<PageOffset> {
+    pub(crate) fn append(
+        &mut self,
+        id: BlockId,
+        data: PageData,
+        spare: Spare,
+    ) -> Result<PageOffset> {
         if self.is_full() {
             return Err(FlashError::BlockFull(id));
         }
         let off = self.write_ptr;
         let page = &mut self.pages[off as usize];
-        debug_assert!(!page.is_written(), "write pointer points at a programmed page");
+        debug_assert!(
+            !page.is_written(),
+            "write pointer points at a programmed page"
+        );
         page.data = Some(data);
         page.spare = Some(spare);
         self.write_ptr += 1;
@@ -88,8 +96,17 @@ mod tests {
 
     fn user(lpn: u32, seq: u64) -> (PageData, Spare) {
         (
-            PageData::User { lpn: Lpn(lpn), version: seq },
-            Spare { seq, info: SpareInfo::User { lpn: Lpn(lpn), before: None } },
+            PageData::User {
+                lpn: Lpn(lpn),
+                version: seq,
+            },
+            Spare {
+                seq,
+                info: SpareInfo::User {
+                    lpn: Lpn(lpn),
+                    before: None,
+                },
+            },
         )
     }
 
@@ -103,7 +120,10 @@ mod tests {
         }
         assert!(b.is_full());
         let (d, s) = user(9, 9);
-        assert_eq!(b.append(BlockId(0), d, s), Err(FlashError::BlockFull(BlockId(0))));
+        assert_eq!(
+            b.append(BlockId(0), d, s),
+            Err(FlashError::BlockFull(BlockId(0)))
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ impl FlashDevice {
     pub fn with_latency(geo: Geometry, latency: LatencyModel) -> Self {
         FlashDevice {
             geo,
-            blocks: (0..geo.blocks).map(|_| Block::new(geo.pages_per_block)).collect(),
+            blocks: (0..geo.blocks)
+                .map(|_| Block::new(geo.pages_per_block))
+                .collect(),
             latency,
             clock: SimClock::default(),
             stats: IoStats::default(),
@@ -213,7 +215,13 @@ impl FlashDevice {
         let b = &self.blocks[block.0 as usize];
         (0..b.written_pages()).map(move |off| {
             let ppn = geo.ppn(block, PageOffset(off));
-            (ppn, b.page(PageOffset(off)).data.as_ref().expect("written page has data"))
+            (
+                ppn,
+                b.page(PageOffset(off))
+                    .data
+                    .as_ref()
+                    .expect("written page has data"),
+            )
         })
     }
 }
@@ -230,8 +238,14 @@ mod tests {
     fn write_user(dev: &mut FlashDevice, block: u32, lpn: u32, version: u64) -> Ppn {
         dev.write_page(
             BlockId(block),
-            PageData::User { lpn: Lpn(lpn), version },
-            SpareInfo::User { lpn: Lpn(lpn), before: None },
+            PageData::User {
+                lpn: Lpn(lpn),
+                version,
+            },
+            SpareInfo::User {
+                lpn: Lpn(lpn),
+                before: None,
+            },
             IoPurpose::UserWrite,
         )
         .unwrap()
@@ -245,7 +259,13 @@ mod tests {
         let data = d.read_page(ppn, IoPurpose::UserRead).unwrap();
         assert_eq!(data.as_user(), Some((Lpn(42), 7)));
         let spare = d.read_spare(ppn, IoPurpose::Recovery).unwrap();
-        assert_eq!(spare.info, SpareInfo::User { lpn: Lpn(42), before: None });
+        assert_eq!(
+            spare.info,
+            SpareInfo::User {
+                lpn: Lpn(42),
+                before: None
+            }
+        );
     }
 
     #[test]
@@ -276,8 +296,14 @@ mod tests {
         assert!(d.block_is_full(BlockId(0)));
         let err = d.write_page(
             BlockId(0),
-            PageData::User { lpn: Lpn(0), version: 2 },
-            SpareInfo::User { lpn: Lpn(0), before: None },
+            PageData::User {
+                lpn: Lpn(0),
+                version: 2,
+            },
+            SpareInfo::User {
+                lpn: Lpn(0),
+                before: None,
+            },
             IoPurpose::UserWrite,
         );
         assert_eq!(err, Err(FlashError::BlockFull(BlockId(0))));

@@ -208,7 +208,7 @@ mod tests {
         let g = Geometry::paper_2tb();
         assert_eq!(g.total_pages(), 1 << 29);
         assert_eq!(g.physical_bytes(), 1 << 41); // 2 TB
-        // TT = 4·K·B·R ≈ 1.5 GB ("1.4 GB" in the paper's loose phrasing).
+                                                 // TT = 4·K·B·R ≈ 1.5 GB ("1.4 GB" in the paper's loose phrasing).
         let tt = g.translation_table_bytes();
         assert!((1_490_000_000..1_510_000_000).contains(&tt), "TT = {tt}");
         // PVB = K·B/8 = 64 MB.

@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn user_payload_accessors() {
-        let d = PageData::User { lpn: Lpn(9), version: 42 };
+        let d = PageData::User {
+            lpn: Lpn(9),
+            version: 42,
+        };
         assert_eq!(d.as_user(), Some((Lpn(9), 42)));
         assert!(d.blob::<u32>().is_none());
     }

@@ -141,7 +141,11 @@ pub enum WaCategory {
 
 impl WaCategory {
     /// All categories in report order.
-    pub const ALL: [WaCategory; 3] = [WaCategory::User, WaCategory::Translation, WaCategory::Validity];
+    pub const ALL: [WaCategory; 3] = [
+        WaCategory::User,
+        WaCategory::Translation,
+        WaCategory::Validity,
+    ];
 
     /// Short stable label used in CSV output.
     pub fn label(self) -> &'static str {
@@ -399,8 +403,14 @@ mod tests {
     #[test]
     fn categories_cover_expected_purposes() {
         assert_eq!(IoPurpose::UserWrite.wa_category(), Some(WaCategory::User));
-        assert_eq!(IoPurpose::TranslationSync.wa_category(), Some(WaCategory::Translation));
-        assert_eq!(IoPurpose::ValidityMerge.wa_category(), Some(WaCategory::Validity));
+        assert_eq!(
+            IoPurpose::TranslationSync.wa_category(),
+            Some(WaCategory::Translation)
+        );
+        assert_eq!(
+            IoPurpose::ValidityMerge.wa_category(),
+            Some(WaCategory::Validity)
+        );
         assert_eq!(IoPurpose::Fill.wa_category(), None);
         assert_eq!(IoPurpose::Recovery.wa_category(), None);
     }

@@ -29,7 +29,10 @@ impl RamModel {
 
     /// Size of one named component (0 if absent).
     pub fn component(&self, name: &str) -> u64 {
-        self.components.iter().find(|c| c.name == name).map_or(0, |c| c.bytes)
+        self.components
+            .iter()
+            .find(|c| c.name == name)
+            .map_or(0, |c| c.bytes)
     }
 }
 
@@ -110,30 +113,69 @@ pub fn btree_root_bytes(geo: &Geometry) -> u64 {
 
 /// Full RAM model for one FTL at a geometry and cache size.
 pub fn ram_model(ftl: FtlName, geo: &Geometry, cache_entries: u64) -> RamModel {
-    let cache = RamComponent { name: "LRU cache", bytes: cache_bytes(cache_entries) };
+    let cache = RamComponent {
+        name: "LRU cache",
+        bytes: cache_bytes(cache_entries),
+    };
     let components = match ftl {
         FtlName::Dftl | FtlName::LazyFtl => vec![
-            RamComponent { name: "GMD", bytes: gmd_bytes(geo) },
-            RamComponent { name: "PVB", bytes: pvb_bytes(geo) },
+            RamComponent {
+                name: "GMD",
+                bytes: gmd_bytes(geo),
+            },
+            RamComponent {
+                name: "PVB",
+                bytes: pvb_bytes(geo),
+            },
             cache,
         ],
         FtlName::MuFtl => vec![
-            RamComponent { name: "B-tree root", bytes: btree_root_bytes(geo) },
-            RamComponent { name: "PVB directory", bytes: flash_pvb_dir_bytes(geo) },
-            RamComponent { name: "BVC", bytes: bvc_bytes(geo) },
+            RamComponent {
+                name: "B-tree root",
+                bytes: btree_root_bytes(geo),
+            },
+            RamComponent {
+                name: "PVB directory",
+                bytes: flash_pvb_dir_bytes(geo),
+            },
+            RamComponent {
+                name: "BVC",
+                bytes: bvc_bytes(geo),
+            },
             cache,
         ],
         FtlName::IbFtl => vec![
-            RamComponent { name: "B-tree root", bytes: btree_root_bytes(geo) },
-            RamComponent { name: "PVL chains", bytes: pvl_ram_bytes(geo) },
-            RamComponent { name: "BVC", bytes: bvc_bytes(geo) },
+            RamComponent {
+                name: "B-tree root",
+                bytes: btree_root_bytes(geo),
+            },
+            RamComponent {
+                name: "PVL chains",
+                bytes: pvl_ram_bytes(geo),
+            },
+            RamComponent {
+                name: "BVC",
+                bytes: bvc_bytes(geo),
+            },
             cache,
         ],
         FtlName::GeckoFtl => vec![
-            RamComponent { name: "GMD", bytes: gmd_bytes(geo) },
-            RamComponent { name: "run directories", bytes: gecko_run_dir_bytes(geo) },
-            RamComponent { name: "gecko buffers", bytes: gecko_buffer_bytes(geo) },
-            RamComponent { name: "BVC", bytes: bvc_bytes(geo) },
+            RamComponent {
+                name: "GMD",
+                bytes: gmd_bytes(geo),
+            },
+            RamComponent {
+                name: "run directories",
+                bytes: gecko_run_dir_bytes(geo),
+            },
+            RamComponent {
+                name: "gecko buffers",
+                bytes: gecko_buffer_bytes(geo),
+            },
+            RamComponent {
+                name: "BVC",
+                bytes: bvc_bytes(geo),
+            },
             cache,
         ],
     };
@@ -223,7 +265,11 @@ mod tests {
                 .filter(|c| c.name != "LRU cache" && c.name != "BVC" && c.name != "GMD")
                 .map(|c| c.bytes)
                 .sum();
-            assert!(bvc > other_meta, "{:?}: BVC {bvc} vs rest {other_meta}", ftl);
+            assert!(
+                bvc > other_meta,
+                "{:?}: BVC {bvc} vs rest {other_meta}",
+                ftl
+            );
         }
     }
 
@@ -233,6 +279,9 @@ mod tests {
         let big = ram_model(FtlName::LazyFtl, &Geometry::paper_scaled(1 << 22), C);
         let ratio = (big.total() - big.component("LRU cache")) as f64
             / (small.total() - small.component("LRU cache")) as f64;
-        assert!((3.5..4.5).contains(&ratio), "4× capacity → ~4× metadata RAM, got {ratio:.2}");
+        assert!(
+            (3.5..4.5).contains(&ratio),
+            "4× capacity → ~4× metadata RAM, got {ratio:.2}"
+        );
     }
 }

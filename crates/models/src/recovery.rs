@@ -202,7 +202,11 @@ pub fn recovery_model(
         }
     }
 
-    RecoveryModel { ftl, components, channels: geo.channels }
+    RecoveryModel {
+        ftl,
+        components,
+        channels: geo.channels,
+    }
 }
 
 #[cfg(test)]
@@ -219,7 +223,10 @@ mod tests {
     fn brute_force_takes_about_26_minutes() {
         let (g, lat) = paper();
         let secs = brute_force_scan_seconds(&g, &lat);
-        assert!((1500.0..1700.0).contains(&secs), "brute force = {secs:.0} s");
+        assert!(
+            (1500.0..1700.0).contains(&secs),
+            "brute force = {secs:.0} s"
+        );
     }
 
     #[test]
@@ -247,7 +254,10 @@ mod tests {
         let lazy = recovery_model(FtlName::LazyFtl, &g, C, 0.1).total_seconds(&lat);
         let gecko = recovery_model(FtlName::GeckoFtl, &g, C, 0.1).total_seconds(&lat);
         let reduction = 1.0 - gecko / lazy;
-        assert!(reduction >= 0.51, "reduction = {reduction:.3} (lazy {lazy:.1}s, gecko {gecko:.1}s)");
+        assert!(
+            reduction >= 0.51,
+            "reduction = {reduction:.3} (lazy {lazy:.1}s, gecko {gecko:.1}s)"
+        );
     }
 
     #[test]
@@ -268,7 +278,11 @@ mod tests {
         for ftl in FtlName::ALL {
             let m = recovery_model(ftl, &g, C, 0.1);
             let scan = m.component_seconds("init scan", &lat);
-            assert!((12.0..14.0).contains(&scan), "{:?}: init scan = {scan:.1} s", ftl);
+            assert!(
+                (12.0..14.0).contains(&scan),
+                "{:?}: init scan = {scan:.1} s",
+                ftl
+            );
         }
     }
 
@@ -276,9 +290,15 @@ mod tests {
     fn channel_parallelism_divides_scan_time() {
         let lat = LatencyModel::paper();
         let serial = recovery_model(FtlName::GeckoFtl, &Geometry::paper_2tb(), C, 0.1);
-        let striped =
-            recovery_model(FtlName::GeckoFtl, &Geometry::paper_2tb().with_channels(8), C, 0.1);
-        assert!((striped.total_seconds_parallel(&lat) - serial.total_seconds(&lat) / 8.0).abs() < 1e-9);
+        let striped = recovery_model(
+            FtlName::GeckoFtl,
+            &Geometry::paper_2tb().with_channels(8),
+            C,
+            0.1,
+        );
+        assert!(
+            (striped.total_seconds_parallel(&lat) - serial.total_seconds(&lat) / 8.0).abs() < 1e-9
+        );
         assert_eq!(striped.total_seconds(&lat), serial.total_seconds(&lat));
     }
 
@@ -291,6 +311,9 @@ mod tests {
             .total_seconds(&lat);
         // The capacity-proportional steps (init scan, PVB rebuild) grow 8×;
         // the constant dirty-entry sync term dampens the total.
-        assert!(big > 2.0 * small, "8× capacity should grow recovery >2×: {small:.1} → {big:.1}");
+        assert!(
+            big > 2.0 * small,
+            "8× capacity should grow recovery >2×: {small:.1} → {big:.1}"
+        );
     }
 }

@@ -70,7 +70,10 @@ mod tests {
         }
         // "integrated RAM reemerges as a dominant cost for low-end devices
         // at capacities of ≈128 GB, at which point 4 MB of SRAM are needed"
-        let at_128gb = pts.iter().find(|p| p.capacity_bytes == 1 << 37).expect("128 GB point");
+        let at_128gb = pts
+            .iter()
+            .find(|p| p.capacity_bytes == 1 << 37)
+            .expect("128 GB point");
         assert!(
             (3 * (1 << 20)..16 * (1 << 20)).contains(&at_128gb.ram_bytes),
             "RAM at 128 GB = {} MB",
@@ -78,7 +81,10 @@ mod tests {
         );
         // "recovery time becomes impractical at ≈2 TB, at which point
         // recovery takes tens of seconds."
-        let at_2tb = pts.iter().find(|p| p.capacity_bytes == 1 << 41).expect("2 TB point");
+        let at_2tb = pts
+            .iter()
+            .find(|p| p.capacity_bytes == 1 << 41)
+            .expect("2 TB point");
         assert!(
             (10.0..120.0).contains(&at_2tb.recovery_seconds),
             "recovery at 2 TB = {:.1} s",
@@ -92,7 +98,11 @@ mod tests {
         let gecko = capacity_sweep(FtlName::GeckoFtl, 1 << 20, 1 << 23, 0.1);
         for (l, g) in lazy.iter().zip(&gecko) {
             assert!(g.ram_bytes < l.ram_bytes / 2, "RAM at {} blocks", l.blocks);
-            assert!(g.recovery_seconds < l.recovery_seconds, "recovery at {} blocks", l.blocks);
+            assert!(
+                g.recovery_seconds < l.recovery_seconds,
+                "recovery at {} blocks",
+                l.blocks
+            );
         }
     }
 }

@@ -25,7 +25,10 @@ pub struct Uniform {
 impl Uniform {
     /// A generator over `logical_pages` addresses.
     pub fn new(seed: u64, logical_pages: u64) -> Self {
-        Uniform { rng: StdRng::seed_from_u64(seed), logical_pages: logical_pages as u32 }
+        Uniform {
+            rng: StdRng::seed_from_u64(seed),
+            logical_pages: logical_pages as u32,
+        }
     }
 }
 
@@ -33,7 +36,9 @@ impl Iterator for Uniform {
     type Item = WorkloadOp;
 
     fn next(&mut self) -> Option<WorkloadOp> {
-        Some(WorkloadOp::Write(Lpn(self.rng.gen_range(0..self.logical_pages))))
+        Some(WorkloadOp::Write(Lpn(self
+            .rng
+            .gen_range(0..self.logical_pages))))
     }
 }
 
@@ -47,7 +52,10 @@ pub struct Sequential {
 impl Sequential {
     /// A generator starting at LPN 0.
     pub fn new(logical_pages: u64) -> Self {
-        Sequential { next: 0, logical_pages: logical_pages as u32 }
+        Sequential {
+            next: 0,
+            logical_pages: logical_pages as u32,
+        }
     }
 }
 
@@ -97,7 +105,14 @@ impl Zipfian {
         let zeta_2 = zeta(2.0, theta);
         let alpha = 1.0 / (1.0 - theta);
         let eta = (1.0 - (2.0 / n).powf(1.0 - theta)) / (1.0 - zeta_2 / zeta_n);
-        Zipfian { rng: StdRng::seed_from_u64(seed), logical_pages: logical_pages as u32, theta, zeta_n, alpha, eta }
+        Zipfian {
+            rng: StdRng::seed_from_u64(seed),
+            logical_pages: logical_pages as u32,
+            theta,
+            zeta_n,
+            alpha,
+            eta,
+        }
     }
 
     fn sample(&mut self) -> u32 {
@@ -153,7 +168,8 @@ impl Iterator for HotCold {
         let lpn = if self.rng.gen_bool(self.hot_traffic) {
             self.rng.gen_range(0..self.hot_pages)
         } else {
-            self.rng.gen_range(self.hot_pages..self.logical_pages.max(self.hot_pages + 1))
+            self.rng
+                .gen_range(self.hot_pages..self.logical_pages.max(self.hot_pages + 1))
         };
         Some(WorkloadOp::Write(Lpn(lpn)))
     }
@@ -187,7 +203,9 @@ impl<G: Iterator<Item = WorkloadOp>> Iterator for Mixed<G> {
 
     fn next(&mut self) -> Option<WorkloadOp> {
         if self.rng.gen_bool(self.read_ratio) {
-            Some(WorkloadOp::Read(Lpn(self.rng.gen_range(0..self.logical_pages))))
+            Some(WorkloadOp::Read(Lpn(self
+                .rng
+                .gen_range(0..self.logical_pages))))
         } else {
             self.inner.next()
         }
@@ -233,8 +251,14 @@ mod tests {
 
     #[test]
     fn uniform_is_deterministic_per_seed() {
-        assert_eq!(writes(Uniform::new(7, 50), 100), writes(Uniform::new(7, 50), 100));
-        assert_ne!(writes(Uniform::new(7, 50), 100), writes(Uniform::new(8, 50), 100));
+        assert_eq!(
+            writes(Uniform::new(7, 50), 100),
+            writes(Uniform::new(7, 50), 100)
+        );
+        assert_ne!(
+            writes(Uniform::new(7, 50), 100),
+            writes(Uniform::new(8, 50), 100)
+        );
     }
 
     #[test]
@@ -268,7 +292,10 @@ mod tests {
     fn mixed_interleaves_reads() {
         let g = Mixed::new(9, Sequential::new(100), 0.5, 100);
         let ops: Vec<WorkloadOp> = g.take(1000).collect();
-        let reads = ops.iter().filter(|o| matches!(o, WorkloadOp::Read(_))).count();
+        let reads = ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Read(_)))
+            .count();
         assert!((350..650).contains(&reads), "read count = {reads}");
     }
 }

@@ -14,7 +14,9 @@ pub struct Trace {
 impl Trace {
     /// Record `n` operations from a generator.
     pub fn record(gen: impl Iterator<Item = WorkloadOp>, n: usize) -> Self {
-        Trace { ops: gen.take(n).collect() }
+        Trace {
+            ops: gen.take(n).collect(),
+        }
     }
 
     /// Build a trace from explicit operations.
@@ -34,7 +36,10 @@ impl Trace {
 
     /// Number of writes in the trace.
     pub fn writes(&self) -> usize {
-        self.ops.iter().filter(|o| matches!(o, WorkloadOp::Write(_))).count()
+        self.ops
+            .iter()
+            .filter(|o| matches!(o, WorkloadOp::Write(_)))
+            .count()
     }
 
     /// Iterate the operations.

@@ -24,7 +24,10 @@ struct PageStore {
 
 impl PageStore {
     fn new(kind: BaselineKind, geo: Geometry) -> Self {
-        PageStore { ftl: build(kind, geo), commits: 0 }
+        PageStore {
+            ftl: build(kind, geo),
+            commits: 0,
+        }
     }
 
     /// "Commit" a database page: encode its new version and write it.
@@ -43,7 +46,10 @@ impl PageStore {
 fn main() {
     let geo = Geometry::new(512, 128, 4096, 0.7);
     let table_pages = geo.logical_pages() as u32;
-    println!("database: {table_pages} pages of 4 KB ({} MB table)", (table_pages as u64 * 4096) >> 20);
+    println!(
+        "database: {table_pages} pages of 4 KB ({} MB table)",
+        (table_pages as u64 * 4096) >> 20
+    );
 
     for kind in [BaselineKind::GeckoFtl, BaselineKind::MuFtl] {
         let mut store = PageStore::new(kind, geo);

@@ -34,7 +34,10 @@ fn main() {
     assert_eq!(ftl.read(Lpn(42)), Some(50 * 1000 + 42));
     println!(
         "after {} writes: {} GC operations, {} checkpoints, {} syncs",
-        ftl.counters.writes, ftl.counters.gc_operations, ftl.counters.checkpoints, ftl.counters.syncs
+        ftl.counters.writes,
+        ftl.counters.gc_operations,
+        ftl.counters.checkpoints,
+        ftl.counters.syncs
     );
 
     // Integrated RAM, as the paper accounts it.

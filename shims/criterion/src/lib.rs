@@ -1,0 +1,204 @@
+//! Offline stand-in for the `criterion` crate: a real (if simple) timing
+//! harness behind criterion's API subset — `Criterion::bench_function`,
+//! `Bencher::iter`/`iter_batched`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Each benchmark runs a warm-up phase, then timed samples for the
+//! configured measurement window, and prints mean / min / max per-iteration
+//! time. No statistical analysis, plots, or baseline comparisons.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost (accepted for API compatibility;
+/// the shim always runs setup once per iteration, unbatched).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Benchmark harness configuration and runner.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_millis(1000),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2);
+        self.sample_size = n;
+        self
+    }
+
+    /// Warm-up duration before sampling.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total sampling duration budget.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            mode: Mode::WarmUp,
+            deadline: Instant::now() + self.warm_up_time,
+            samples: Vec::new(),
+        };
+        f(&mut b);
+        b.mode = Mode::Measure;
+        b.deadline = Instant::now() + self.measurement_time;
+        b.samples = Vec::with_capacity(self.sample_size * 32);
+        f(&mut b);
+        let n = b.samples.len().max(1);
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n as u32;
+        let min = b.samples.iter().min().copied().unwrap_or_default();
+        let max = b.samples.iter().max().copied().unwrap_or_default();
+        println!(
+            "{name:40} mean {:>12} (min {:?}, max {:?}, {} iters)",
+            format!("{mean:?}"),
+            min,
+            max,
+            n
+        );
+        self
+    }
+
+    /// Print a final configuration summary (API-compat no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+enum Mode {
+    WarmUp,
+    Measure,
+}
+
+/// Timing handle passed to the benchmark closure.
+pub struct Bencher {
+    mode: Mode,
+    deadline: Instant,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly until the window closes.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        loop {
+            let start = Instant::now();
+            black_box(routine());
+            let elapsed = start.elapsed();
+            if matches!(self.mode, Mode::Measure) {
+                self.samples.push(elapsed);
+            }
+            if Instant::now() >= self.deadline {
+                return;
+            }
+        }
+    }
+
+    /// Time `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        loop {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            let elapsed = start.elapsed();
+            if matches!(self.mode, Mode::Measure) {
+                self.samples.push(elapsed);
+            }
+            if Instant::now() >= self.deadline {
+                return;
+            }
+        }
+    }
+}
+
+/// Group benchmark functions under a shared configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                count += 1;
+                black_box(count)
+            })
+        });
+        assert!(count > 0, "routine must have run");
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::LargeInput)
+        });
+    }
+}

@@ -36,7 +36,12 @@ fn replay_with_oracle(kind: BaselineKind, trace: &Trace) {
         }
     }
     for (&lpn, &want) in &oracle {
-        assert_eq!(ftl.read(Lpn(lpn)), Some(want), "{}: final L{lpn}", kind.name());
+        assert_eq!(
+            ftl.read(Lpn(lpn)),
+            Some(want),
+            "{}: final L{lpn}",
+            kind.name()
+        );
     }
 }
 
@@ -53,7 +58,11 @@ fn all_ftls_agree_on_a_zipfian_trace() {
 fn all_ftls_agree_on_a_hot_cold_trace() {
     let logical = geo().logical_pages();
     let trace = Trace::record(HotCold::new(6, logical, 0.1, 0.9), 5000);
-    for kind in [BaselineKind::GeckoFtl, BaselineKind::MuFtl, BaselineKind::IbFtl] {
+    for kind in [
+        BaselineKind::GeckoFtl,
+        BaselineKind::MuFtl,
+        BaselineKind::IbFtl,
+    ] {
         replay_with_oracle(kind, &trace);
     }
 }
@@ -131,7 +140,9 @@ fn mixed_read_write_workload_accounts_read_amplification() {
     assert!(d.logical_reads > 1000);
     // Read misses fetch translation pages (read-amplification), and those
     // fetches are excluded from write-amplification.
-    let fetches = d.counts(geckoftl::flash_sim::IoPurpose::TranslationFetch).page_reads;
+    let fetches = d
+        .counts(geckoftl::flash_sim::IoPurpose::TranslationFetch)
+        .page_reads;
     assert!(fetches > 0, "cache misses must fetch translation pages");
     let wa = d.wa_breakdown(10.0);
     assert!(wa.total() < 10.0);

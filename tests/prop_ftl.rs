@@ -4,7 +4,9 @@
 
 use geckoftl::flash_sim::{Geometry, Lpn};
 use geckoftl::ftl_baselines::{build, BaselineKind};
-use geckoftl::geckoftl_core::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
+use geckoftl::geckoftl_core::ftl::{
+    FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend,
+};
 use geckoftl::geckoftl_core::gecko::{GeckoConfig, LogGecko};
 use geckoftl::geckoftl_core::recovery::gecko_recover;
 use proptest::prelude::*;

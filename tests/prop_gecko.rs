@@ -30,12 +30,7 @@ struct Model {
     invalid: std::collections::HashMap<u32, Vec<bool>>,
 }
 
-fn check_all_blocks(
-    gecko: &mut LogGecko,
-    dev: &mut FlashDevice,
-    model: &Model,
-    geo: &Geometry,
-) {
+fn check_all_blocks(gecko: &mut LogGecko, dev: &mut FlashDevice, model: &Model, geo: &Geometry) {
     for b in 0..32u32 {
         let got = gecko.gc_query(dev, BlockId(b));
         let want = model.invalid.get(&b);
@@ -56,6 +51,7 @@ fn run_case(ops: &[Op], size_ratio: u32, partitions: u32, multiway: bool, header
         multiway_merge: multiway,
         key_bytes: 4,
         page_header_bytes: header,
+        ..GeckoConfig::default()
     };
     let mut gecko = LogGecko::new(geo, cfg);
     let mut model = Model::default();
@@ -65,8 +61,10 @@ fn run_case(ops: &[Op], size_ratio: u32, partitions: u32, multiway: bool, header
         match *op {
             Op::Invalidate(p) => {
                 gecko.mark_invalid(&mut dev, &mut sink, Ppn(p));
-                model.invalid.entry(p / 16).or_insert_with(|| vec![false; b])[(p % 16) as usize] =
-                    true;
+                model
+                    .invalid
+                    .entry(p / 16)
+                    .or_insert_with(|| vec![false; b])[(p % 16) as usize] = true;
             }
             Op::Erase(blk) => {
                 gecko.note_erase(&mut dev, &mut sink, BlockId(blk));
@@ -82,12 +80,13 @@ fn run_case(ops: &[Op], size_ratio: u32, partitions: u32, multiway: bool, header
             }
         }
         // Structural invariant: each level holds at most one settled run.
-        for (lvl, count) in gecko
-            .runs_newest_first()
-            .fold(std::collections::HashMap::new(), |mut m, r| {
-                *m.entry(r.meta.level).or_insert(0u32) += 1;
-                m
-            })
+        for (lvl, count) in
+            gecko
+                .runs_newest_first()
+                .fold(std::collections::HashMap::new(), |mut m, r| {
+                    *m.entry(r.meta.level).or_insert(0u32) += 1;
+                    m
+                })
         {
             assert!(count <= 1, "level {lvl} holds {count} runs");
         }
@@ -137,6 +136,7 @@ proptest! {
             multiway_merge: true,
             key_bytes: 4,
             page_header_bytes: 4096 - 64,
+            ..GeckoConfig::default()
         };
         let mut gecko = LogGecko::new(geo, cfg);
         let mut model = Model::default();
@@ -159,5 +159,73 @@ proptest! {
         let runs: Vec<_> = gecko.runs_newest_first().cloned().collect();
         let mut rebuilt = LogGecko::from_recovered(geo, cfg, runs);
         check_all_blocks(&mut rebuilt, &mut dev, &model, &geo);
+    }
+
+    /// The Bloom-filter + fence-pointer fast path must return byte-identical
+    /// bitmaps to (a) the probe-every-run naive oracle, (b) the
+    /// pre-optimization linear-scan path running the same op sequence on a
+    /// twin instance, and (c) the batched query API — across randomized
+    /// update/erase/merge histories and tunings.
+    #[test]
+    fn fast_path_matches_naive_oracle(
+        ops in prop::collection::vec(op_strategy(), 1..500),
+        s_pow in 0u32..5,          // S ∈ {1,2,4,8,16}, all divide B=16
+        bloom_bits in 0u32..13,    // includes 0 = filters disabled
+        header_slack in 0u32..3,   // vary entries-per-page => merge shapes
+    ) {
+        let geo = Geometry::tiny();
+        let mut dev = FlashDevice::new(geo);
+        let mut sink = FlatMetaSink::new((32..64).map(BlockId).collect());
+        let fast_cfg = GeckoConfig {
+            partitions: 1 << s_pow,
+            page_header_bytes: 4096 - 64 - 32 * header_slack,
+            bloom_bits_per_key: bloom_bits,
+            fast_path: true,
+            ..GeckoConfig::default()
+        };
+        let legacy_cfg = GeckoConfig { fast_path: false, bloom_bits_per_key: 0, ..fast_cfg };
+        let mut fast = LogGecko::new(geo, fast_cfg);
+        // The legacy twin shares the device but writes its runs through a
+        // separate sink pool so the two structures stay independent.
+        let mut legacy_dev = FlashDevice::new(geo);
+        let mut legacy_sink = FlatMetaSink::new((32..64).map(BlockId).collect());
+        let mut legacy = LogGecko::new(geo, legacy_cfg);
+
+        for op in &ops {
+            match *op {
+                Op::Invalidate(p) => {
+                    fast.mark_invalid(&mut dev, &mut sink, Ppn(p));
+                    legacy.mark_invalid(&mut legacy_dev, &mut legacy_sink, Ppn(p));
+                }
+                Op::Erase(blk) => {
+                    fast.note_erase(&mut dev, &mut sink, BlockId(blk));
+                    legacy.note_erase(&mut legacy_dev, &mut legacy_sink, BlockId(blk));
+                }
+                Op::Query(blk) => {
+                    let via_fast = fast.gc_query(&mut dev, BlockId(blk));
+                    let via_naive = fast.gc_query_naive(&mut dev, BlockId(blk));
+                    prop_assert_eq!(&via_fast, &via_naive, "fast vs naive mid-run, block {}", blk);
+                }
+            }
+        }
+
+        // Every block: fast == naive == legacy twin, and batch == singles.
+        let all_blocks: Vec<BlockId> = (0..32).map(BlockId).collect();
+        let batch = fast.gc_query_batch(&mut dev, &all_blocks);
+        for (i, &blk) in all_blocks.iter().enumerate() {
+            let via_fast = fast.gc_query(&mut dev, blk);
+            let via_naive = fast.gc_query_naive(&mut dev, blk);
+            let via_legacy = legacy.gc_query(&mut legacy_dev, blk);
+            prop_assert_eq!(&via_fast, &via_naive, "fast vs naive, block {:?}", blk);
+            prop_assert_eq!(&via_fast, &via_legacy, "fast vs legacy twin, block {:?}", blk);
+            prop_assert_eq!(&batch[i], &via_fast, "batch vs single, block {:?}", blk);
+        }
+
+        // Duplicate + unsorted request orders answer consistently too.
+        let shuffled = [BlockId(9), BlockId(3), BlockId(9), BlockId(31), BlockId(0), BlockId(3)];
+        let dup = fast.gc_query_batch(&mut dev, &shuffled);
+        for (i, &blk) in shuffled.iter().enumerate() {
+            prop_assert_eq!(&dup[i], &fast.gc_query(&mut dev, blk), "dup batch, slot {}", i);
+        }
     }
 }
