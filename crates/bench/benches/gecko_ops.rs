@@ -85,6 +85,32 @@ fn bench_gecko_query(c: &mut Criterion) {
     }
 }
 
+fn bench_merge_pump(c: &mut Criterion) {
+    // Steady-state incremental merging: updates stream in while the
+    // scheduler is pumped with a bounded step per update — the engine's
+    // piggyback pattern. Measures the CPU cost of the state machine
+    // (planning, resumable read/fold/write, install), not simulated IO.
+    c.bench_function("gecko_update_with_merge_pump", |b| {
+        let geo = Geometry::small();
+        let mut dev = FlashDevice::new(geo);
+        let mut sink = FlatMetaSink::new((3000..4096).map(BlockId).collect());
+        let cfg = GeckoConfig {
+            sync_merge: false,
+            ..small_cfg(&geo)
+        };
+        let mut gecko = LogGecko::new(geo, cfg);
+        let mut x = 11u64;
+        b.iter(|| {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let page = (x >> 33) % (3000 * geo.pages_per_block as u64);
+            gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
+            gecko.pump_merges(&mut dev, &mut sink, 4);
+        });
+    });
+}
+
 fn bench_cache_ops(c: &mut Criterion) {
     c.bench_function("cache_insert_evict", |b| {
         let mut cache = MappingCache::new(4096);
@@ -185,7 +211,7 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_gecko_updates, bench_gecko_query, bench_cache_ops, bench_bitmap,
-        bench_translation_sync, bench_pvl
+    targets = bench_gecko_updates, bench_gecko_query, bench_merge_pump, bench_cache_ops,
+        bench_bitmap, bench_translation_sync, bench_pvl
 }
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 //! reproduce fig9 fig13         # selected experiments
 //! reproduce list               # what exists
 //! reproduce all --csv out/     # also write CSV files
+//! reproduce merge_latency --smoke   # CI-sized run, no JSON rewrite
 //! ```
 
 use gecko_bench::experiments::{find, ALL};
@@ -25,6 +26,7 @@ fn main() {
                     args.get(i).map(String::as_str).unwrap_or("results"),
                 ));
             }
+            "--smoke" => gecko_bench::smoke::set(true),
             "list" => {
                 println!("available experiments:");
                 for e in ALL {

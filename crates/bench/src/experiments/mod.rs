@@ -13,6 +13,7 @@ pub mod fig12_overprovisioning;
 pub mod fig13_comparison;
 pub mod fig14_ram_utilization;
 pub mod gecko_query;
+pub mod merge_latency;
 pub mod mixed_workload;
 pub mod recovery_exp;
 pub mod table1_costs;
@@ -80,6 +81,11 @@ pub const ALL: &[Experiment] = &[
         slug: "gecko_query",
         what: "GC-query fast path (bloom/fence/batch) vs linear scan; emits BENCH_gecko_query.json",
         run: gecko_query::run,
+    },
+    Experiment {
+        slug: "merge_latency",
+        what: "write-latency tail: sync vs incremental merges; emits BENCH_merge_latency.json",
+        run: merge_latency::run,
     },
     Experiment {
         slug: "recovery",

@@ -17,6 +17,26 @@ pub mod experiments;
 pub mod harness;
 pub mod report;
 
+/// Process-wide smoke switch: `reproduce --smoke` shrinks the heavy
+/// experiments to CI-sized runs (and skips rewriting committed JSON
+/// baselines). Plain `cargo test` never sets it, so the release-only
+/// experiment tests always exercise the full configuration.
+pub mod smoke {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static SMOKE: AtomicBool = AtomicBool::new(false);
+
+    /// Turn smoke mode on or off (set once, before experiments run).
+    pub fn set(on: bool) {
+        SMOKE.store(on, Ordering::Relaxed);
+    }
+
+    /// Whether experiments should run their shrunken smoke configuration.
+    pub fn on() -> bool {
+        SMOKE.load(Ordering::Relaxed)
+    }
+}
+
 pub use harness::{
     drive, fill_sequential, measure_uniform, sim_geometry, Driver, MeasuredInterval,
 };

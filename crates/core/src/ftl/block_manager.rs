@@ -286,23 +286,10 @@ impl BlockManager {
         dev: &'a FlashDevice,
         eligible: impl Fn(BlockGroup) -> bool + 'a,
     ) -> impl Iterator<Item = (u32, BlockId)> + 'a {
-        self.geo.iter_blocks().filter_map(move |b| {
-            let BlockState::InUse(group) = self.state[b.0 as usize] else {
-                return None;
-            };
-            if !eligible(group)
-                || self.is_active(b)
-                || !dev.block_is_full(b)
-                || self.is_protected(b)
-            {
-                return None;
-            }
-            let valid = self.bvc[b.0 as usize];
-            if valid >= self.geo.pages_per_block {
-                return None; // nothing reclaimable
-            }
-            Some((valid, b))
-        })
+        self.geo
+            .iter_blocks()
+            .filter(move |&b| self.is_victim_eligible(dev, b, &eligible))
+            .map(|b| (self.bvc[b.0 as usize], b))
     }
 
     /// Greedy victim selection: the full, non-active block with the fewest
@@ -318,20 +305,66 @@ impl BlockManager {
             .map(|(_, b)| b)
     }
 
-    /// The `k` best greedy victims (fewest valid pages first, block id as
-    /// tie-break — matching [`BlockManager::pick_victim`]'s choice). Used by
-    /// the engine to prefetch validity bitmaps for a whole GC burst in one
-    /// batched query.
+    /// Whether `block` currently satisfies every victim-eligibility rule
+    /// for its group (allocated to an `eligible` group, sealed, non-active,
+    /// unprotected, with at least one invalid page) — the same rules as
+    /// [`BlockManager::victim_candidates`], answered in O(1) for one block.
+    /// Used by the engine to re-validate a planned burst victim whose state
+    /// may have shifted since the batch prefetch ranked it.
+    pub fn is_victim_eligible(
+        &self,
+        dev: &FlashDevice,
+        block: BlockId,
+        eligible: impl Fn(BlockGroup) -> bool,
+    ) -> bool {
+        let BlockState::InUse(group) = self.state[block.0 as usize] else {
+            return false;
+        };
+        eligible(group)
+            && !self.is_active(block)
+            && dev.block_is_full(block)
+            && !self.is_protected(block)
+            && self.bvc[block.0 as usize] < self.geo.pages_per_block
+    }
+
+    /// The `k` best greedy victims: fewest valid pages first, and — among
+    /// candidates tied at the burst's worst valid count, where greedy is
+    /// indifferent — the *densest block-id window*, so the burst's Gecko
+    /// keys (`(block, part)`, ordered by block id) cluster on shared run
+    /// pages and the batched validity query coalesces more probes. Strictly
+    /// better (fewer-valid) candidates are never displaced by clustering.
+    /// Used by the engine to prefetch validity bitmaps for a whole GC burst
+    /// in one batched query.
     pub fn pick_victims(
         &self,
         dev: &FlashDevice,
         k: usize,
         eligible: impl Fn(BlockGroup) -> bool,
     ) -> Vec<BlockId> {
+        if k == 0 {
+            return Vec::new();
+        }
         let mut candidates: Vec<(u32, BlockId)> = self.victim_candidates(dev, eligible).collect();
         candidates.sort_unstable_by_key(|&(valid, b)| (valid, b));
-        candidates.truncate(k);
-        candidates.into_iter().map(|(_, b)| b).collect()
+        if candidates.len() <= k {
+            return candidates.into_iter().map(|(_, b)| b).collect();
+        }
+        // Greedy mandates every candidate strictly below the k-th best's
+        // valid count; the remaining slots go to the equal-valid group,
+        // where any choice is equally good for migration cost — pick the
+        // tightest id window there (candidates are id-sorted within a
+        // valid count, so windows are contiguous slices).
+        let threshold = candidates[k - 1].0;
+        let mandatory = candidates.partition_point(|&(v, _)| v < threshold);
+        let eq_end = candidates.partition_point(|&(v, _)| v <= threshold);
+        let need = k - mandatory;
+        let equals = &candidates[mandatory..eq_end];
+        let start = (0..=equals.len() - need)
+            .min_by_key(|&i| equals[i + need - 1].1 .0 - equals[i].1 .0)
+            .expect("need ≤ equals.len() by construction");
+        let mut victims: Vec<BlockId> = candidates[..mandatory].iter().map(|&(_, b)| b).collect();
+        victims.extend(equals[start..start + need].iter().map(|&(_, b)| b));
+        victims
     }
 }
 
@@ -507,6 +540,44 @@ mod tests {
         assert_ne!(
             bm.pick_victim(&dev, |_| true),
             Some(b0.min(b1).min(BlockId(2)))
+        );
+    }
+
+    #[test]
+    fn pick_victims_clusters_equal_valid_candidates() {
+        let (mut dev, mut bm) = setup();
+        let per_block = dev.geometry().pages_per_block;
+        // Fill 8 user blocks; the 8th stays the active block.
+        let mut pages = Vec::new();
+        for i in 0..8 * per_block {
+            let (d, s) = user_page(i);
+            pages.push(bm.append(&mut dev, BlockGroup::User, d, s, IoPurpose::UserWrite));
+        }
+        let obsolete = |bm: &mut BlockManager, dev: &mut FlashDevice, blk: u32, n: u32| {
+            for p in &pages[(blk * per_block) as usize..][..n as usize] {
+                bm.page_obsolete(dev, *p);
+            }
+        };
+        // Block 1 is strictly best (8 invalid); blocks 0, 3, 4, 5 tie at 4
+        // invalid. Asking for 3 victims must keep block 1 and fill the two
+        // remaining slots with the densest id window of the tie group —
+        // {3, 4}, not the id-minimal {0, 3} a plain sort would give.
+        obsolete(&mut bm, &mut dev, 1, 8);
+        for blk in [0u32, 3, 4, 5] {
+            obsolete(&mut bm, &mut dev, blk, 4);
+        }
+        let victims = bm.pick_victims(&dev, 3, |g| g == BlockGroup::User);
+        assert_eq!(victims, vec![BlockId(1), BlockId(3), BlockId(4)]);
+        // Every planned victim must pass the single-victim eligibility
+        // re-check the engine applies before collecting it.
+        for v in &victims {
+            assert!(bm.is_victim_eligible(&dev, *v, |g| g == BlockGroup::User));
+        }
+        // Asking for more victims than exist degrades to the plain ranking.
+        let all = bm.pick_victims(&dev, 10, |g| g == BlockGroup::User);
+        assert_eq!(
+            all,
+            vec![BlockId(1), BlockId(0), BlockId(3), BlockId(4), BlockId(5)]
         );
     }
 

@@ -7,7 +7,9 @@ use crate::cache::CacheEntry;
 use flash_sim::{BlockId, IoPurpose, PageData, SpareInfo};
 
 fn paranoid() -> bool {
-    std::env::var("GECKO_PARANOID").is_ok()
+    // Read the environment once: this guard sits inside per-page GC loops.
+    static PARANOID: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PARANOID.get_or_init(|| std::env::var("GECKO_PARANOID").is_ok())
 }
 
 impl FtlEngine {
@@ -29,6 +31,46 @@ impl FtlEngine {
         }
         best
     }
+
+    /// Paranoid diagnostic: a page the validity store reports invalid must
+    /// never be the newest physical copy of its logical page. (This is the
+    /// check that caught the recovered-flush-watermark bug: deferring merge
+    /// output past new erases inflated recovery's step-4a window and lost
+    /// buffered erase markers.)
+    fn paranoid_check_invalid(&self, ppn: flash_sim::Ppn) {
+        let Some(data) = self.dev.peek_page(ppn).cloned() else {
+            return;
+        };
+        if let Some((l, _)) = data.as_user() {
+            if self.true_newest(l).map(|(best, _)| best) == Some(ppn) {
+                eprintln!(
+                    "[PARANOID] GC treats NEWEST copy {ppn:?} of {l:?} as invalid; cache={:?}",
+                    self.cache.lookup(l)
+                );
+            }
+        }
+    }
+
+    /// Paranoid diagnostic: a block about to be erased as fully invalid
+    /// must hold no newest copy of any logical page.
+    fn paranoid_check_erasable(&self, victim: BlockId) {
+        let pages: Vec<_> = self
+            .dev
+            .peek_block_pages(victim)
+            .map(|(p, d)| (p, d.clone()))
+            .collect();
+        for (ppn, data) in pages {
+            if let Some((l, _)) = data.as_user() {
+                if self.true_newest(l).map(|(best, _)| best) == Some(ppn) {
+                    eprintln!(
+                        "[PARANOID] erasing 0-valid {victim:?} but {ppn:?} is the NEWEST \
+                         copy of {l:?}; cache={:?}",
+                        self.cache.lookup(l)
+                    );
+                }
+            }
+        }
+    }
 }
 
 impl FtlEngine {
@@ -48,6 +90,11 @@ impl FtlEngine {
                 // user-page writes); honor the period between victims so
                 // the recovery-scan bound stays ≈2·C + O(B) pages.
                 self.maybe_checkpoint();
+                // A burst's erase markers flood the Gecko buffer and can
+                // trip several flushes within one application write; pump a
+                // merge slice between victims so that work drains
+                // incrementally instead of piling into forced stalls.
+                self.pump_merge_slice();
                 continue;
             }
             // No victim found: all invalid pages may be unidentified (UIP).
@@ -55,6 +102,7 @@ impl FtlEngine {
             // Prefetched bitmaps stay sound (syncs land in gc_invalidated),
             // but the victim ranking has shifted wholesale: drop them.
             self.gc_prefetch.clear();
+            self.gc_plan.clear();
             self.sync_all_dirty();
             assert!(
                 self.collect_once(),
@@ -62,6 +110,7 @@ impl FtlEngine {
             );
         }
         self.gc_prefetch.clear();
+        self.gc_plan.clear();
     }
 
     /// Batch-query the validity bitmaps of this burst's likely victims.
@@ -106,6 +155,9 @@ impl FtlEngine {
             .backend
             .store()
             .gc_query_batch(&mut self.dev, &mut self.bm, &victims);
+        // Remember the clustered ranking as the burst's collection plan, so
+        // the prefetched bitmaps are the ones actually consumed.
+        self.gc_plan = victims.iter().copied().collect();
         self.gc_prefetch = victims.into_iter().zip(bitmaps).collect();
     }
 
@@ -119,6 +171,9 @@ impl FtlEngine {
         // its valid count is 0).
         if let Some(victim) = self.bm.pick_victim(&self.dev, |_| true) {
             if self.bm.valid_pages(victim) == 0 {
+                if paranoid() {
+                    self.paranoid_check_erasable(victim);
+                }
                 self.counters.gc_operations += 1;
                 self.gc_prefetch.remove(&victim);
                 if self.bm.group_of(victim) == Some(BlockGroup::User) {
@@ -132,6 +187,32 @@ impl FtlEngine {
                     .erase_and_free(&mut self.dev, victim, IoPurpose::GcMigrateUser);
                 self.forget_invalidated_in(victim);
                 return true;
+            }
+        }
+        // Prefer the prefetched burst's planned order: within the plan the
+        // victims' valid counts were tied or near-tied when ranked, so
+        // collecting in clustered-id order guarantees every prefetched
+        // bitmap is consumed rather than re-queried cold, at worst a
+        // bounded migration-cost deviation from strict greedy (the plan
+        // holds ≤ 8 near-tied entries, and a sealed block's valid count
+        // only ever decreases, so a planned victim never gets *worse* —
+        // only a non-planned block can become cheaper mid-burst). Entries are re-validated — state may have
+        // shifted since the batch snapshot — and skipped if stale. Only the
+        // metadata-aware policy follows the plan: its victims are User
+        // blocks by definition, whereas GreedyAll must stay free to pick a
+        // cheaper translation/metadata block (the plan is User-only, so
+        // honoring it there would bias the greedy ablation).
+        if policy == GcPolicy::MetadataAware {
+            while let Some(planned) = self.gc_plan.pop_front() {
+                if self.gc_prefetch.contains_key(&planned)
+                    && self
+                        .bm
+                        .is_victim_eligible(&self.dev, planned, |g| g == BlockGroup::User)
+                {
+                    self.counters.gc_operations += 1;
+                    self.collect_user_block(planned);
+                    return true;
+                }
             }
         }
         let victim = self.bm.pick_victim(&self.dev, |group| match policy {
@@ -177,6 +258,9 @@ impl FtlEngine {
         let geo = self.geometry();
         for off in 0..written {
             if invalid.get(off) {
+                if paranoid() {
+                    self.paranoid_check_invalid(geo.ppn(victim, flash_sim::PageOffset(off)));
+                }
                 continue;
             }
             let ppn = geo.ppn(victim, flash_sim::PageOffset(off));

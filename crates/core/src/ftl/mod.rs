@@ -178,6 +178,12 @@ pub struct FtlEngine {
     /// Victim bitmaps prefetched by a batched validity query at the start
     /// of a GC burst; consumed (and invalidated) as victims are collected.
     pub(crate) gc_prefetch: HashMap<BlockId, crate::gecko::Bitmap>,
+    /// The prefetched burst's planned collection order (the clustered
+    /// ranking of [`BlockManager::pick_victims`]); consumed by
+    /// [`FtlEngine::collect_once`] so the collected victims are the ones
+    /// whose bitmaps were actually prefetched. Entries are re-validated
+    /// against current eligibility before use.
+    pub(crate) gc_plan: std::collections::VecDeque<BlockId>,
     /// Lifetime op counters.
     pub counters: EngineCounters,
 }
@@ -249,6 +255,7 @@ impl FtlEngine {
             last_flush_seen: 0,
             gc_invalidated: HashSet::new(),
             gc_prefetch: HashMap::new(),
+            gc_plan: std::collections::VecDeque::new(),
             counters: EngineCounters::default(),
         }
     }
@@ -278,6 +285,7 @@ impl FtlEngine {
             last_flush_seen,
             gc_invalidated: HashSet::new(),
             gc_prefetch: HashMap::new(),
+            gc_plan: std::collections::VecDeque::new(),
             counters: EngineCounters::default(),
         }
     }
@@ -372,7 +380,38 @@ impl FtlEngine {
         self.dev.stats_mut().logical_writes += 1;
         self.tick_checkpoint_clock();
         self.install_write_mapping(lpn, ppn);
+        // Piggyback one bounded merge-scheduler slice (§3's incremental
+        // merges): instead of occasionally paying a whole Logarithmic Gecko
+        // merge inline, every write pays at most `merge_step_pages` of it.
+        self.pump_merge_slice();
         self.post_op();
+    }
+
+    /// Advance pending incremental Gecko merge work by one bounded step,
+    /// charged to the current operation. No-op for non-Gecko backends and
+    /// under [`crate::gecko::GeckoConfig::sync_merge`].
+    fn pump_merge_slice(&mut self) {
+        if let ValidityBackend::Gecko(g) = &mut self.backend {
+            let cfg = g.config();
+            if !cfg.sync_merge {
+                g.pump_merges(&mut self.dev, &mut self.bm, cfg.merge_step_pages as u64);
+            }
+        }
+    }
+
+    /// Donate one idle-time slice to background maintenance: advances
+    /// pending incremental merge work by one bounded step (the other half
+    /// of the scheduler's charging policy — merge IO is paid either
+    /// piggybacked on writes or during idle periods). Returns `true` while
+    /// more background work remains, so idle loops can keep ticking.
+    pub fn idle_tick(&mut self) -> bool {
+        if let ValidityBackend::Gecko(g) = &mut self.backend {
+            let cfg = g.config();
+            if !cfg.sync_merge {
+                return g.pump_merges(&mut self.dev, &mut self.bm, cfg.merge_step_pages as u64);
+            }
+        }
+        false
     }
 
     /// Install the cache entry for a fresh write of `lpn` now at `ppn`
@@ -439,6 +478,11 @@ impl FtlEngine {
             .expect("mapped page readable");
         let (stored_lpn, version) = data.as_user().expect("user block page holds user data");
         debug_assert_eq!(stored_lpn, lpn, "mapping must point at this page's data");
+        // Reads also donate a bounded merge slice (after the data is
+        // served): they never flush or schedule merges themselves, so this
+        // is pure background capacity that can never concentrate into a
+        // forced drain.
+        self.pump_merge_slice();
         Some(version)
     }
 
@@ -620,11 +664,15 @@ impl FtlEngine {
         }
     }
 
-    /// Clean shutdown: synchronize all dirty entries and persist validity
-    /// buffers. Models the battery-backed pre-shutdown work of DFTL/µ-FTL.
+    /// Clean shutdown: synchronize all dirty entries, persist validity
+    /// buffers and settle any background merge work. Models the
+    /// battery-backed pre-shutdown work of DFTL/µ-FTL.
     pub fn shutdown_clean(&mut self) {
         self.sync_all_dirty();
         self.backend.store().flush(&mut self.dev, &mut self.bm);
+        // The flush may itself have scheduled a merge; finish it so the
+        // device is fully quiescent at power-off.
+        while self.idle_tick() {}
         self.after_validity_op();
     }
 

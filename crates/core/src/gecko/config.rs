@@ -30,6 +30,19 @@ pub struct GeckoConfig {
     /// as an A/B baseline for the `gecko_query` benchmark and as the
     /// equivalence oracle's twin in property tests.
     pub fast_path: bool,
+    /// Run merges to completion inside the update path (the paper's
+    /// behavior). When false — the default — a due merge is enqueued on the
+    /// incremental merge scheduler ([`crate::gecko::scheduler`]) and drained
+    /// in bounded steps charged to subsequent updates or idle ticks; a flush
+    /// that finds the previous merge still unfinished forces the remainder
+    /// synchronously, so both modes perform the identical merge sequence.
+    /// Kept as the A/B baseline for the `merge_latency` experiment.
+    pub sync_merge: bool,
+    /// Page-IO budget (run-page reads + writes) of one incremental merge
+    /// step. Each application write piggybacks at most one step; pages on
+    /// distinct flash channels within a step overlap in simulated time.
+    /// Ignored when [`GeckoConfig::sync_merge`] is true. Must be ≥ 1.
+    pub merge_step_pages: u32,
 }
 
 impl Default for GeckoConfig {
@@ -45,6 +58,8 @@ impl Default for GeckoConfig {
             page_header_bytes: 32,
             bloom_bits_per_key: 8,
             fast_path: true,
+            sync_merge: false,
+            merge_step_pages: 4,
         }
     }
 }
@@ -88,6 +103,10 @@ impl GeckoConfig {
         assert!(
             self.entries_per_page(geo) >= 2,
             "a Gecko page must hold at least two entries (page too small or B/S too large)"
+        );
+        assert!(
+            self.merge_step_pages >= 1,
+            "an incremental merge step must make progress (merge_step_pages ≥ 1)"
         );
     }
 

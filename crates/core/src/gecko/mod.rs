@@ -9,24 +9,27 @@
 //! insertion rather than `O(L)` flash IOs.
 //!
 //! See [`entry`] for the entry format, [`run`] for the on-flash run layout,
-//! [`config`] for tuning (`T`, `S`, multi-way merging), and
-//! [`analysis`] for the closed-form cost model of Table 1.
+//! [`config`] for tuning (`T`, `S`, multi-way merging), [`scheduler`] for
+//! the incremental merge state machine that keeps merges off the update
+//! path, and [`analysis`] for the closed-form cost model of Table 1.
 
 pub mod analysis;
 pub mod config;
 pub mod entry;
 pub mod filter;
 pub mod run;
+pub mod scheduler;
 
 pub use analysis::GeckoCostModel;
 pub use config::GeckoConfig;
 pub use entry::{Bitmap, GeckoEntry, GeckoKey};
 pub use filter::RunFilter;
 pub use run::{GeckoPagePayload, Postamble, Run, RunDirEntry, RunId, RunMeta};
+pub use scheduler::{FinishedMerge, JobInput, MergeJob, MergeScheduler};
 
 use crate::validity::{MetaSink, ValidityStore};
-use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, MetaKind, PageData, Ppn};
-use std::collections::BTreeMap;
+use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, Ppn};
+use std::collections::{BTreeMap, HashSet};
 
 /// The Logarithmic Gecko structure: RAM buffer + run directories in RAM,
 /// runs in flash.
@@ -41,25 +44,32 @@ pub struct LogGecko {
     /// Device sequence number at the most recent buffer flush (0 if never
     /// flushed). Recovery's buffer reconstruction (App. C.2) keys off this.
     last_flush_seq: u64,
-    /// Reusable scratch buffers for the query/flush/merge hot paths, so
+    /// Reusable scratch buffers for the query/flush hot paths, so
     /// steady-state operation allocates nothing per call.
     scratch: Scratch,
+    /// The incremental merge scheduler: per-channel queues of resumable
+    /// [`MergeJob`]s (see [`scheduler`] for the state machine and its
+    /// invariants). Under [`GeckoConfig::sync_merge`] the same machinery
+    /// runs, just drained to completion inline.
+    sched: MergeScheduler,
+    /// Runs currently participating in a pending [`MergeJob`]. They stay
+    /// installed in `levels` (and queryable) until the job's output is
+    /// sealed, but must not be planned into a second merge.
+    merging: HashSet<RunId>,
     /// Lifetime counters for analysis/ablation reporting.
     pub stats: GeckoStats,
 }
 
-/// Preallocated scratch space reused across queries, flushes and merges.
+/// Preallocated scratch space reused across queries and flushes.
 /// Capacities grow to the workload's high-water mark and stay there.
+/// (Merge buffers live in the [`MergeJob`] in flight — they are queued-job
+/// state, accounted by [`LogGecko::ram_bytes`].)
 #[derive(Debug, Default)]
 struct Scratch {
     /// Open `(key, result-index)` pairs of the query in flight.
     open: Vec<(GeckoKey, usize)>,
     /// Coalesced flash-page probe list for the run under inspection.
     probe_ppns: Vec<Ppn>,
-    /// Per-participant entry streams for the merge in flight.
-    streams: Vec<Vec<GeckoEntry>>,
-    /// Output accumulator of the merge in flight.
-    merged: Vec<GeckoEntry>,
     /// One flush chunk (≤ V entries) en route to a run page.
     chunk: Vec<GeckoEntry>,
     /// Keys of the flush chunk (two-phase removal from the buffer).
@@ -86,6 +96,13 @@ pub struct GeckoStats {
     pub bloom_skips: u64,
     /// Flash pages actually read by fence-pointer probes on the fast path.
     pub fence_probes: u64,
+    /// Flash page-IOs performed by incremental merge steps (reads of
+    /// participant pages + writes of output pages), including forced drains.
+    pub merge_pages_stepped: u64,
+    /// Forced synchronous drains: a flush (or shutdown) found merge work
+    /// still pending and ran the remainder inline — the bounded residue of
+    /// taking merges off the write path.
+    pub merge_stall_drains: u64,
 }
 
 impl LogGecko {
@@ -100,6 +117,8 @@ impl LogGecko {
             levels,
             last_flush_seq: 0,
             scratch: Scratch::default(),
+            sched: MergeScheduler::new(geo.channels),
+            merging: HashSet::new(),
             stats: GeckoStats::default(),
         }
     }
@@ -109,7 +128,11 @@ impl LogGecko {
     pub fn from_recovered(geo: Geometry, cfg: GeckoConfig, runs: Vec<Run>) -> Self {
         let mut g = LogGecko::new(geo, cfg);
         for run in runs {
-            g.last_flush_seq = g.last_flush_seq.max(run.meta.created_seq);
+            // The persisted *flush watermark*, not `created_seq`: a merge
+            // output is written after the flush that scheduled it, so its
+            // creation time says nothing about when the buffer was last
+            // empty (see `RunMeta::flush_seq`).
+            g.last_flush_seq = g.last_flush_seq.max(run.meta.flush_seq);
             let level = run.meta.level as usize;
             while g.levels.len() <= level {
                 g.levels.push(Vec::new());
@@ -165,18 +188,27 @@ impl LogGecko {
     }
 
     /// Integrated-RAM footprint per Appendix B: run directories (two 4-byte
-    /// words per run page) plus the input/output merge buffers, plus the
-    /// per-run Bloom filters of the query fast path (not in the paper's
-    /// accounting — reported honestly as part of the validity store).
+    /// words per run page) and the one-page update buffer, plus the per-run
+    /// Bloom filters of the query fast path and the buffers of
+    /// queued/in-flight [`MergeJob`]s (neither in the paper's accounting —
+    /// reported honestly as part of the validity store). Merge buffers are
+    /// charged as the actual queued-job state rather than the paper's
+    /// static input/output-page allowance: since the scheduler refactor
+    /// they exist only while a job is in flight, so a static term would
+    /// double-count mid-merge and charge phantom memory when idle.
     pub fn ram_bytes(&self) -> u64 {
         let dir_bytes = 8 * self.total_run_pages();
         let filter_bytes: u64 = self.runs_newest_first().map(Run::filter_bytes).sum();
-        let merge_buffers = if self.cfg.multiway_merge {
-            self.geo.page_bytes as u64 * (2 + self.cfg.levels(&self.geo) as u64)
-        } else {
-            self.geo.page_bytes as u64 * 3
-        };
-        dir_bytes + filter_bytes + self.geo.page_bytes as u64 + merge_buffers
+        dir_bytes
+            + filter_bytes
+            + self.geo.page_bytes as u64
+            + self.sched.ram_bytes(self.entry_ram_bytes())
+    }
+
+    /// Approximate RAM of one entry buffered in a merge job: key + flags
+    /// plus the boxed bitmap slice words.
+    fn entry_ram_bytes(&self) -> u64 {
+        24 + u64::from(self.cfg.sub_bits(&self.geo).div_ceil(64)) * 8
     }
 
     fn key_of(&self, ppn: Ppn) -> (GeckoKey, u32) {
@@ -553,25 +585,40 @@ impl LogGecko {
         }
     }
 
-    /// Flush the buffer and trigger merges. Public so that shutdown paths
-    /// can force persistence.
+    /// Flush the buffer and schedule merges. Public so that shutdown paths
+    /// can force persistence. Merge work pending from *before* the call is
+    /// settled (drained ahead of each push), but a merge scheduled by the
+    /// flush's own final push is left to the pump — callers needing full
+    /// quiescence (clean shutdown, tests) follow up with
+    /// [`LogGecko::drain_merges`] or keep ticking
+    /// [`crate::ftl::FtlEngine::idle_tick`].
     ///
     /// Erase markers can overshoot the buffer past `V` entries (Algorithm 2
     /// inserts S sub-entries at once), so the flush emits *single-page* runs
-    /// — each inserted at level 0, merging after each — rather than one
-    /// multi-page run. Chunks cover disjoint key ranges, so their relative
-    /// order carries no information, and the level-by-data-age invariant
-    /// that queries rely on is preserved.
+    /// — each inserted at level 0, scheduling merges after each — rather
+    /// than one multi-page run. Chunks cover disjoint key ranges, so their
+    /// relative order carries no information, and the level-by-data-age
+    /// invariant that queries rely on is preserved.
+    ///
+    /// Every push is preceded by a drain of pending merge jobs (a forced,
+    /// counted stall when work was actually pending): merge *planning* must
+    /// see the settled structure, which is what makes the incremental
+    /// scheduler perform the identical merge sequence as
+    /// [`GeckoConfig::sync_merge`] — see [`scheduler`] invariant 4.
     pub fn flush(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink) {
         if self.buffer.is_empty() {
+            // Nothing to push ⇒ no merge planning ⇒ no need to force-drain
+            // in-flight work; it keeps draining through the pump.
             return;
         }
         self.stats.flushes += 1;
         let v = self.buffer_capacity() as usize;
-        // Reused scratch buffers: steady-state flushing allocates nothing.
+        // Reused scratch buffers: steady-state flushing allocates only the
+        // page payloads the simulated flash pages must own.
         let mut chunk = std::mem::take(&mut self.scratch.chunk);
         let mut chunk_keys = std::mem::take(&mut self.scratch.chunk_keys);
         while !self.buffer.is_empty() {
+            self.drain_merges(dev, sink);
             chunk_keys.clear();
             chunk_keys.extend(self.buffer.keys().take(v).copied());
             chunk.clear();
@@ -580,286 +627,220 @@ impl LogGecko {
                     .iter()
                     .map(|k| self.buffer.remove(k).expect("key just listed")),
             );
-            let run = self.write_run(
+            // A flush run is at most one page: write it atomically.
+            let mut writer = scheduler::RunWriter::new(
+                &self.cfg,
+                &self.geo,
                 dev,
-                sink,
-                &mut chunk,
+                std::mem::take(&mut chunk),
                 Vec::new(),
                 None,
+                None, // a flush run's watermark is its own creation time
                 0,
                 IoPurpose::ValidityUpdate,
             );
+            while !writer.write_next_page(dev, sink) {}
+            let (run, reclaimed) = writer.into_run();
+            chunk = reclaimed;
             debug_assert_eq!(
                 run.meta.level, 0,
                 "a single-page flush run belongs at level 0"
             );
             self.last_flush_seq = run.meta.created_seq;
             self.levels[0].push(run);
-            self.maybe_merge(dev, sink);
+            self.schedule_merges();
+            if self.cfg.sync_merge {
+                self.drain_merges(dev, sink);
+            }
         }
         self.scratch.chunk = chunk;
         self.scratch.chunk_keys = chunk_keys;
     }
 
-    /// Write a sorted entry sequence as a run, returning its directory.
-    /// `min_level` clamps placement so merge output never lands above a
-    /// participant's level (which would break the data-age ordering queries
-    /// rely on when collisions shrink the output).
-    ///
-    /// `entries` is drained (left empty but with its capacity intact) so
-    /// callers can keep reusing their scratch buffer; the only per-page
-    /// allocation left is the entry vector that becomes the page payload
-    /// itself, which must be owned by the simulated flash page.
-    #[allow(clippy::too_many_arguments)] // one call site per flavor; a params struct would obscure the merge path
-    fn write_run(
-        &mut self,
-        dev: &mut FlashDevice,
-        sink: &mut dyn MetaSink,
-        entries: &mut Vec<GeckoEntry>,
-        merged_from: Vec<RunId>,
-        supersedes_since: Option<u64>,
-        min_level: u32,
-        purpose: IoPurpose,
-    ) -> Run {
-        debug_assert!(!entries.is_empty());
-        debug_assert!(
-            entries.windows(2).all(|w| w[0].key < w[1].key),
-            "run entries must be sorted"
-        );
-        let v = self.buffer_capacity() as usize;
-        // The run id doubles as its creation timestamp: the device sequence
-        // number is persistent and strictly monotonic, so ids stay unique
-        // across power failures — obsolete runs lingering on flash can never
-        // collide with runs created after a recovery.
-        let id = RunId(dev.now_seq());
-        let n_pages = entries.len().div_ceil(v);
-        let level = self.cfg.level_for(n_pages as u64).max(min_level);
-        let created_seq = dev.now_seq();
-        let meta = RunMeta {
-            id,
-            level,
-            created_seq,
-            merged_from,
-            supersedes_since: supersedes_since.unwrap_or(created_seq),
-        };
-
-        // Build the run's Bloom filter while the keys stream past anyway.
-        let filter = (self.cfg.bloom_bits_per_key > 0).then(|| {
-            let mut f = RunFilter::new(entries.len(), self.cfg.bloom_bits_per_key);
-            for e in entries.iter() {
-                f.insert(e.key);
-            }
-            f
-        });
-
-        let mut dir: Vec<RunDirEntry> = Vec::with_capacity(n_pages);
-        let mut ranges: Vec<(GeckoKey, GeckoKey)> = entries
-            .chunks(v)
-            .map(|c| (c.first().unwrap().key, c.last().unwrap().key))
-            .collect();
-        let entry_count = entries.len() as u64;
-        let mut drain = entries.drain(..);
-        for i in 0..n_pages {
-            let chunk: Vec<GeckoEntry> = drain.by_ref().take(v).collect();
-            let postamble = (i == n_pages - 1).then(|| Postamble {
-                total_pages: n_pages as u32,
-                ranges: std::mem::take(&mut ranges),
-                ppns: dir.iter().map(|d| d.ppn).collect(),
-            });
-            let (first, last) = (chunk.first().unwrap().key, chunk.last().unwrap().key);
-            let payload = GeckoPagePayload {
-                run_id: id,
-                page_index: i as u32,
-                entries: chunk,
-                preamble: (i == 0).then(|| meta.clone()),
-                postamble,
-            };
-            let ppn = sink.append_meta(
-                dev,
-                MetaKind::GeckoRun,
-                id.0,
-                PageData::blob_of(payload),
-                purpose,
-            );
-            dir.push(RunDirEntry { ppn, first, last });
-        }
-        drop(drain);
-        Run {
-            meta,
-            pages: dir,
-            entry_count,
-            filter,
-        }
-    }
-
-    /// Merge until no level holds two runs (§3.1, Appendix A).
-    fn maybe_merge(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink) {
+    /// Plan due merges (§3.1, Appendix A): whenever a level holds two or
+    /// more settled runs, enqueue a [`MergeJob`] folding them — plus, under
+    /// the multi-way policy, the runs of every deeper level the output
+    /// would cascade into anyway. Planning only *queues* work; the IO is
+    /// paid by [`LogGecko::pump_merges`] / [`LogGecko::drain_merges`].
+    fn schedule_merges(&mut self) {
         loop {
-            let Some(start) = self.levels.iter().position(|l| l.len() >= 2) else {
+            let merging = &self.merging;
+            let settled = |l: &[Run]| l.iter().filter(|r| !merging.contains(&r.meta.id)).count();
+            let Some(start) = self.levels.iter().position(|l| settled(l) >= 2) else {
                 return;
             };
-            // Collect participants: both runs at `start`, plus — under the
-            // multi-way policy — runs at higher levels that the output would
-            // cascade into anyway.
-            let mut participants: Vec<Run> = self.levels[start].drain(..).collect();
-            let mut combined_pages: u64 = participants.iter().map(Run::num_pages).sum();
+            let mut inputs: Vec<JobInput> = Vec::new();
+            let mut combined_pages: u64 = 0;
+            let mut absorb_level = |runs: &[Run], merging: &HashSet<RunId>| {
+                let mut pages = 0u64;
+                for run in runs.iter().filter(|r| !merging.contains(&r.meta.id)) {
+                    pages += run.num_pages();
+                    inputs.push(JobInput::of(run));
+                }
+                pages
+            };
+            combined_pages += absorb_level(&self.levels[start], &self.merging);
             if self.cfg.multiway_merge {
                 let mut level = start + 1;
                 while level < self.levels.len() {
-                    if self.levels[level].is_empty()
+                    if settled(&self.levels[level]) == 0
                         || combined_pages < (self.cfg.size_ratio as u64).pow(level as u32)
                     {
                         break;
                     }
-                    let runs: Vec<Run> = self.levels[level].drain(..).collect();
-                    combined_pages += runs.iter().map(Run::num_pages).sum::<u64>();
-                    participants.extend(runs);
+                    combined_pages += absorb_level(&self.levels[level], &self.merging);
                     level += 1;
                 }
             }
-            self.merge_runs(dev, sink, participants);
+            self.stats.merges += 1;
+            // Newest data first, so pairwise collision resolution can fold
+            // older entries into newer ones (Algorithm 3). Data age is
+            // ordered by level first (shallower = newer), then by creation
+            // time within a level — creation time alone can invert across
+            // levels.
+            inputs.sort_by(|a, b| {
+                a.meta
+                    .level
+                    .cmp(&b.meta.level)
+                    .then(b.meta.created_seq.cmp(&a.meta.created_seq))
+            });
+            let deepest = inputs.iter().map(|i| i.meta.level).max().unwrap_or(0);
+            let ids: HashSet<RunId> = inputs.iter().map(|i| i.meta.id).collect();
+            // Is the merge output going to be the new largest run? If so,
+            // erase flags carry no further information and fully-empty
+            // entries can be dropped ("removes obsolete entries during
+            // merge operations").
+            let deepest_occupied = self
+                .levels
+                .iter()
+                .rposition(|l| l.iter().any(|r| !ids.contains(&r.meta.id)))
+                .map(|l| l as u32);
+            let output_is_largest = deepest_occupied.is_none_or(|d| deepest >= d);
+            self.merging.extend(ids);
+            self.sched.enqueue(MergeJob::new(
+                self.cfg,
+                self.geo,
+                inputs,
+                deepest,
+                output_is_largest,
+            ));
         }
     }
 
-    /// Merge a set of runs into one, discarding obsolete entries.
-    fn merge_runs(
+    /// Advance pending merge work by one bounded slice: every channel's
+    /// head job performs at most `budget` run-page reads/writes, with pages
+    /// on distinct channels overlapping in simulated time. Sealed outputs
+    /// are installed atomically (inputs retired, output pushed, follow-on
+    /// cascade merges planned). Returns `true` while work remains.
+    ///
+    /// The FTL engine piggybacks one slice on every application write and
+    /// donates slices from idle ticks; standalone users may call it at any
+    /// cadence — queries stay correct mid-merge.
+    pub fn pump_merges(
         &mut self,
         dev: &mut FlashDevice,
         sink: &mut dyn MetaSink,
-        mut participants: Vec<Run>,
+        budget: u64,
+    ) -> bool {
+        if self.sched.is_idle() {
+            return false;
+        }
+        let finished = self.sched.step_channels(
+            dev,
+            sink,
+            budget,
+            &mut self.stats.entries_dropped,
+            &mut self.stats.merge_pages_stepped,
+            self.last_flush_seq,
+        );
+        for done in finished {
+            self.install_merge(dev, sink, done);
+        }
+        !self.sched.is_idle()
+    }
+
+    /// Run all pending merge work to completion. Counted as a forced stall
+    /// when work was actually pending — except under
+    /// [`GeckoConfig::sync_merge`], where inline draining *is* the policy.
+    pub fn drain_merges(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink) {
+        if self.sched.is_idle() {
+            return;
+        }
+        if !self.cfg.sync_merge {
+            self.stats.merge_stall_drains += 1;
+        }
+        while self.pump_merges(dev, sink, u64::MAX) {}
+    }
+
+    /// Atomically switch queries from a merge's inputs to its output: the
+    /// participants leave the levels and have their pages retired, and the
+    /// sealed output run (if any entries survived the fold) is installed.
+    /// Follow-on cascade merges are planned immediately.
+    fn install_merge(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+        done: FinishedMerge,
     ) {
-        self.stats.merges += 1;
-        // Newest data first, so pairwise collision resolution can fold
-        // older entries into newer ones (Algorithm 3). Data age is ordered
-        // by level first (shallower = newer), then by creation time within
-        // a level — creation time alone can invert across levels.
-        participants.sort_by(|a, b| {
-            a.meta
-                .level
-                .cmp(&b.meta.level)
-                .then(b.meta.created_seq.cmp(&a.meta.created_seq))
-        });
-        let deepest = participants.iter().map(|r| r.meta.level).max().unwrap_or(0);
-        // Is the merge output going to be the new largest run? If so, erase
-        // flags carry no further information and fully-empty entries can be
-        // dropped ("removes obsolete entries during merge operations").
-        let deepest_occupied = self
-            .levels
-            .iter()
-            .rposition(|l| !l.is_empty())
-            .map(|l| l as u32);
-        let output_is_largest = deepest_occupied.is_none_or(|d| deepest >= d);
-
-        // Read all participant pages (charged as merge IO), collect entry
-        // streams in data-age order. Stream buffers are reused across
-        // merges (grown once to the workload's high-water mark).
-        let mut stream_pool = std::mem::take(&mut self.scratch.streams);
-        while stream_pool.len() < participants.len() {
-            stream_pool.push(Vec::new());
-        }
-        let streams = &mut stream_pool[..participants.len()];
-        for (run, entries) in participants.iter().zip(streams.iter_mut()) {
-            entries.clear();
-            entries.reserve(run.entry_count as usize);
-            for page in &run.pages {
-                let data = dev
-                    .read_page(page.ppn, IoPurpose::ValidityMerge)
-                    .expect("run page readable during merge");
-                let payload = data.blob::<GeckoPagePayload>().expect("gecko page payload");
-                entries.extend(payload.entries.iter().cloned());
+        for input in &done.inputs {
+            self.merging.remove(&input.meta.id);
+            let level = input.meta.level as usize;
+            if let Some(runs) = self.levels.get_mut(level) {
+                runs.retain(|r| r.meta.id != input.meta.id);
             }
         }
-
-        // K-way sorted merge with collision folding. Streams are ordered
-        // newest-first, so on key ties the lowest stream index is newest.
-        let mut cursors = vec![0usize; streams.len()];
-        let mut merged = std::mem::take(&mut self.scratch.merged);
-        merged.clear();
-        loop {
-            let mut min_key: Option<GeckoKey> = None;
-            for (s, stream) in streams.iter().enumerate() {
-                if let Some(e) = stream.get(cursors[s]) {
-                    if min_key.is_none_or(|m| e.key < m) {
-                        min_key = Some(e.key);
-                    }
-                }
-            }
-            let Some(key) = min_key else { break };
-            let mut folded: Option<GeckoEntry> = None;
-            for (s, stream) in streams.iter().enumerate() {
-                if let Some(e) = stream.get(cursors[s]) {
-                    if e.key == key {
-                        cursors[s] += 1;
-                        folded = Some(match folded {
-                            None => e.clone(),
-                            Some(newer) => {
-                                self.stats.entries_dropped += 1;
-                                GeckoEntry::merge_collision(&newer, e)
-                            }
-                        });
-                    }
-                }
-            }
-            let entry = folded.expect("at least one stream supplied the key");
-            let keep = if entry.erase_flag {
-                // Erase markers with no newer bits are pure tombstones; they
-                // can be dropped once nothing older can exist below them.
-                !(output_is_largest && entry.bitmap.is_empty())
-            } else {
-                !entry.bitmap.is_empty()
-            };
-            if keep {
-                merged.push(entry);
-            } else {
-                self.stats.entries_dropped += 1;
-            }
-        }
-
-        // Retire the participants' pages, then write the output.
-        for run in &participants {
-            for page in &run.pages {
+        for input in &done.inputs {
+            for page in &input.pages {
                 sink.meta_page_obsolete(dev, page.ppn);
             }
         }
-        self.scratch.streams = stream_pool;
-        if merged.is_empty() {
-            self.scratch.merged = merged;
-            return;
+        if let Some(run) = done.output {
+            let level = run.meta.level as usize;
+            while self.levels.len() <= level {
+                self.levels.push(Vec::new());
+            }
+            self.levels[level].push(run);
         }
-        let merged_from = participants.iter().map(|r| r.meta.id).collect();
-        let supersedes_since = participants
-            .iter()
-            .map(|r| r.meta.supersedes_since)
-            .min()
-            .expect("merge has participants");
-        let run = self.write_run(
-            dev,
-            sink,
-            &mut merged,
-            merged_from,
-            Some(supersedes_since),
-            deepest,
-            IoPurpose::ValidityMerge,
-        );
-        self.scratch.merged = merged;
-        let level = run.meta.level as usize;
-        while self.levels.len() <= level {
-            self.levels.push(Vec::new());
-        }
-        self.levels[level].push(run);
+        self.schedule_merges();
+    }
+
+    /// Pending incremental merge work, in estimated flash page-IOs
+    /// (0 when the structure is settled).
+    pub fn merge_backlog_pages(&self) -> u64 {
+        self.sched.debt_pages()
+    }
+
+    /// Number of merge jobs queued or in flight.
+    pub fn merge_jobs_pending(&self) -> usize {
+        self.sched.pending_jobs()
+    }
+
+    /// Output pages already on flash for merges whose output run is not yet
+    /// sealed — orphans a crash right now would leave behind (and that
+    /// GeckoRec must discard). Test/diagnostic introspection.
+    pub fn unsealed_merge_pages(&self) -> u64 {
+        self.sched.unsealed_output_pages()
     }
 
     /// Reconstruct the invalid-page bitmap of **every** block by scanning
     /// all runs once plus the buffer — BVC recovery, Appendix C step 5.
     /// Charges one page read per live run page to `purpose`.
+    ///
+    /// Since the scan reads every run page anyway, it doubles as a repair
+    /// pass at no extra IO: runs missing their RAM-resident Bloom filter
+    /// (recovered runs — filters are not persisted) get one rebuilt from
+    /// the keys streaming past, and zeroed `entry_count`s are refilled, so
+    /// recovered runs serve fast-path queries immediately instead of
+    /// degrading to probe-per-run until the next merge.
     pub fn scan_all_bitmaps(
-        &self,
+        &mut self,
         dev: &mut FlashDevice,
         purpose: IoPurpose,
     ) -> std::collections::HashMap<BlockId, Bitmap> {
-        use std::collections::{HashMap, HashSet};
+        use std::collections::HashMap;
         let sub = self.cfg.sub_bits(&self.geo);
         let b = self.geo.pages_per_block;
+        let bloom_bits = self.cfg.bloom_bits_per_key;
         let mut closed: HashSet<GeckoKey> = HashSet::new();
         let mut result: HashMap<BlockId, Bitmap> = HashMap::new();
         let absorb = |entry: &GeckoEntry,
@@ -881,16 +862,34 @@ impl LogGecko {
         for entry in self.buffer.values() {
             absorb(entry, &mut closed, &mut result);
         }
-        for level in &self.levels {
-            for run in level.iter().rev() {
+        let mut keys: Vec<GeckoKey> = Vec::new();
+        for level in &mut self.levels {
+            for run in level.iter_mut().rev() {
+                let rebuild_filter = bloom_bits > 0 && run.filter.is_none();
+                keys.clear();
+                let mut entries_seen = 0u64;
                 for page in &run.pages {
                     let data = dev
                         .read_page(page.ppn, purpose)
                         .expect("live run page readable");
                     let payload = data.blob::<GeckoPagePayload>().expect("gecko page payload");
+                    entries_seen += payload.entries.len() as u64;
                     for entry in &payload.entries {
                         absorb(entry, &mut closed, &mut result);
+                        if rebuild_filter {
+                            keys.push(entry.key);
+                        }
                     }
+                }
+                if run.entry_count == 0 {
+                    run.entry_count = entries_seen;
+                }
+                if rebuild_filter {
+                    let mut f = RunFilter::new(keys.len(), bloom_bits);
+                    for &k in &keys {
+                        f.insert(k);
+                    }
+                    run.filter = Some(f);
                 }
             }
         }
@@ -1151,7 +1150,11 @@ mod tests {
 
     #[test]
     fn at_most_one_settled_run_per_level() {
-        let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
+        let cfg = GeckoConfig {
+            sync_merge: true,
+            ..small_page_cfg(2, 1)
+        };
+        let (mut dev, mut sink, mut gecko, geo) = harness(cfg);
         let mut x: u64 = 99;
         for _ in 0..4000 {
             x = x
@@ -1165,6 +1168,37 @@ mod tests {
                 assert!(runs.len() <= 1, "level {lvl} holds {} runs", runs.len());
             }
         }
+    }
+
+    #[test]
+    fn incremental_mode_settles_to_one_run_per_level() {
+        // Same invariant as above, but under the incremental scheduler the
+        // structure is only settled once pending jobs drain; mid-flight a
+        // level legally holds the (still queryable) merge participants.
+        let (mut dev, mut sink, mut gecko, geo) = harness(small_page_cfg(2, 1));
+        assert!(!gecko.config().sync_merge, "incremental is the default");
+        let mut x: u64 = 99;
+        for i in 0..4000u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let page = (x >> 33) % (32 * geo.pages_per_block as u64);
+            gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
+            // Pump at an arbitrary cadence, as an engine would.
+            if i % 3 == 0 {
+                gecko.pump_merges(&mut dev, &mut sink, 2);
+            }
+        }
+        gecko.drain_merges(&mut dev, &mut sink);
+        assert_eq!(gecko.merge_jobs_pending(), 0);
+        assert_eq!(gecko.merge_backlog_pages(), 0);
+        for (lvl, runs) in gecko.levels.iter().enumerate() {
+            assert!(runs.len() <= 1, "level {lvl} holds {} runs", runs.len());
+        }
+        assert!(
+            gecko.stats.merge_pages_stepped > 0,
+            "merge IO must flow through the scheduler"
+        );
     }
 
     #[test]
@@ -1201,9 +1235,11 @@ mod tests {
             let page = (x >> 33) % (32 * geo.pages_per_block as u64);
             gecko.mark_invalid(&mut dev, &mut sink, Ppn(page as u32));
         }
-        // At most 32 blocks × S sub-entries of live information; total run
-        // entries may double that (§3.2: space-amplification ≤ ≈2), plus the
-        // transient level-0/1 runs.
+        // Settle pending merge jobs, then check the bound: at most 32
+        // blocks × S sub-entries of live information; total run entries may
+        // double that (§3.2: space-amplification ≤ ≈2), plus the transient
+        // level-0/1 runs.
+        gecko.drain_merges(&mut dev, &mut sink);
         let max_live = 32 * gecko.cfg.partitions as u64;
         assert!(
             gecko.total_run_entries() <= 3 * max_live,

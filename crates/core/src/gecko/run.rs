@@ -31,9 +31,19 @@ pub struct RunMeta {
     pub id: RunId,
     /// Level the run was placed at when created.
     pub level: u32,
-    /// Device sequence number at creation; recovery uses it to order runs
-    /// and to find the last buffer-flush time (Appendix C.2).
+    /// Device sequence number at creation; recovery uses it to order runs.
     pub created_seq: u64,
+    /// The buffer-flush watermark at the moment this run was written: for
+    /// buffer-flush runs, their own `created_seq`; for merge outputs, the
+    /// owning tree's `last_flush_seq` when the output was produced.
+    /// Recovery derives the last buffer-flush time (Appendix C.2) as the
+    /// max watermark over live runs. With incremental merging this must be
+    /// persisted separately from `created_seq`: a merge output is written
+    /// *after* the flush that scheduled it — possibly after further erases
+    /// and invalidations entered the RAM buffer — so using its
+    /// `created_seq` as the flush time would make recovery's step-4a/4b/6
+    /// windows skip reports that lived only in the lost buffer.
+    pub flush_seq: u64,
     /// IDs of the runs this run replaced (empty for buffer flushes).
     pub merged_from: Vec<RunId>,
     /// Creation seq of this run's oldest *transitive* merge input (its own
@@ -165,6 +175,7 @@ mod tests {
                 id: RunId(1),
                 level: 0,
                 created_seq: 1,
+                flush_seq: 1,
                 merged_from: vec![],
                 supersedes_since: 1,
             },

@@ -1,0 +1,619 @@
+//! Incremental, channel-aware merge scheduling for Logarithmic Gecko.
+//!
+//! The paper runs merges synchronously inside the update path: an update
+//! that trips a level-N merge pays the entire merge's flash IO as latency —
+//! exactly the tail-latency cliff the amortized analysis of Table 1 argues
+//! against. This module takes the merge off the critical path: when a merge
+//! becomes due, [`crate::gecko::LogGecko`] enqueues a [`MergeJob`] here
+//! instead of running it inline, and the job is *pumped* in bounded steps
+//! (at most [`crate::gecko::GeckoConfig::merge_step_pages`] run-page reads
+//! or writes per step) piggybacked on subsequent updates or donated by idle
+//! ticks. Within one pump, page IO on distinct flash channels overlaps in
+//! simulated time (see [`flash_sim::FlashDevice::begin_overlap`]), and jobs
+//! are dispatched round-robin onto one queue per [`flash_sim::Geometry`]
+//! channel — the LFTL/FMMU "merge worker per channel" shape, scaffolding
+//! for a sharded multi-tree engine where independent trees' merges really
+//! do run concurrently. (A single tree's merge cascade is a dependency
+//! chain, so its jobs execute one at a time; the channel parallelism a
+//! single tree sees today is page-level, inside each step.)
+//!
+//! # State machine
+//!
+//! A job moves through two IO-charged phases plus a free in-RAM fold:
+//!
+//! ```text
+//! Read ──(all participant pages read)──▶ fold (RAM, no IO)
+//!      ──▶ Write ──(postamble page written = sealed)──▶ install
+//! ```
+//!
+//! * **Read**: participant run pages are read newest-data-first into
+//!   per-participant entry streams, up to `budget` pages per step.
+//! * **Fold**: the k-way collision-resolving merge of Algorithm 3 runs
+//!   entirely in RAM the moment the last page arrives.
+//! * **Write**: the output run is written page by page through a
+//!   [`RunWriter`], up to `budget` pages per step. The run becomes *real*
+//!   only when its final page — carrying the postamble — is programmed.
+//!
+//! # Invariants (what keeps queries and crashes correct)
+//!
+//! 1. **Participants stay installed.** The input runs remain in
+//!    `LogGecko::levels` (and therefore queryable, in correct data-age
+//!    order) for the whole life of the job; they are only removed — and
+//!    their pages only retired — at *install time*, after the output run is
+//!    sealed. A GC query never observes both the inputs and the output.
+//! 2. **Atomic install.** Sealing + install happen inside one pump call
+//!    with no intervening flash state change, so the switch from "query the
+//!    inputs" to "query the output" is atomic with respect to queries.
+//! 3. **Crash = forget the job.** A partially written output run has no
+//!    complete postamble, so GeckoRec's run recovery (Appendix C.1)
+//!    discards it; the participants are still complete and live on flash.
+//!    A crash after sealing recovers the output and treats the inputs as
+//!    merged-away via the `supersedes_since` window. Either way no
+//!    scheduler state needs to be persisted — with one preamble field as
+//!    the price of deferral: because an output run is written *after* the
+//!    flush that scheduled it (new erases/invalidations may have entered
+//!    the RAM buffer in between), every run persists the buffer-flush
+//!    watermark current at its write ([`RunMeta::flush_seq`]), and
+//!    recovery derives "time of last flush" from that watermark rather
+//!    than from `created_seq`. Deriving it from the output's creation time
+//!    — correct when merges were synchronous — would make recovery's
+//!    step-4a/4b/6 windows skip reports that lived only in the lost
+//!    buffer and silently revive stale validity bits.
+//! 4. **No new runs while a job is in flight.** `LogGecko::flush` drains
+//!    pending jobs *before* pushing a new level-0 run (a forced, counted
+//!    stall). Merge *decisions* therefore see exactly the settled structure
+//!    the synchronous mode would see, which is what makes
+//!    `sync_merge = true/false` produce the identical merge sequence — the
+//!    property the equivalence tests pin down.
+
+use crate::gecko::config::GeckoConfig;
+use crate::gecko::entry::{GeckoEntry, GeckoKey};
+use crate::gecko::filter::RunFilter;
+use crate::gecko::run::{GeckoPagePayload, Postamble, Run, RunDirEntry, RunId, RunMeta};
+use crate::validity::MetaSink;
+use flash_sim::{FlashDevice, Geometry, IoPurpose, MetaKind, PageData};
+use std::collections::VecDeque;
+
+/// A participant run's slim description: everything the job needs to read,
+/// order and later retire the run — without cloning its Bloom filter.
+#[derive(Clone, Debug)]
+pub struct JobInput {
+    /// The run's preamble metadata (identity, level, age, lineage).
+    pub meta: RunMeta,
+    /// Its run directory (page locations to read and later retire).
+    pub pages: Vec<RunDirEntry>,
+    /// Entry count, used to pre-size the read stream.
+    pub entry_count: u64,
+}
+
+impl JobInput {
+    /// Describe an installed run.
+    pub fn of(run: &Run) -> Self {
+        JobInput {
+            meta: run.meta.clone(),
+            pages: run.pages.clone(),
+            entry_count: run.entry_count,
+        }
+    }
+}
+
+/// A completed merge, ready for [`crate::gecko::LogGecko`] to install:
+/// retire the inputs' pages, remove them from the levels, and (unless every
+/// entry folded away) push the sealed output run.
+#[derive(Debug)]
+pub struct FinishedMerge {
+    /// The participants to retire.
+    pub inputs: Vec<JobInput>,
+    /// The sealed output run; `None` when all entries were obsolete.
+    pub output: Option<Run>,
+}
+
+/// Incremental writer of one run: emits the pages of a sorted entry
+/// sequence one flash write at a time, carrying the preamble on the first
+/// page and the postamble (the persistent run directory) on the last. Both
+/// the merge state machine and the synchronous flush path write runs
+/// through this, so the on-flash layout has a single source of truth.
+#[derive(Debug)]
+pub(crate) struct RunWriter {
+    meta: RunMeta,
+    entries: Vec<GeckoEntry>,
+    /// Entry cursor: `entries[..next]` have been written out.
+    next: usize,
+    /// `V`: entries per page.
+    v: usize,
+    n_pages: usize,
+    /// Key range of every page, precomputed for the postamble.
+    ranges: Vec<(GeckoKey, GeckoKey)>,
+    dir: Vec<RunDirEntry>,
+    filter: Option<RunFilter>,
+    purpose: IoPurpose,
+}
+
+impl RunWriter {
+    /// Start writing `entries` (sorted, non-empty) as a run. Assigns the
+    /// run its identity from the device sequence number — persistent and
+    /// strictly monotonic, so ids stay unique across power failures.
+    /// `min_level` clamps placement so merge output never lands above a
+    /// participant's level (which would break the data-age ordering queries
+    /// rely on when collisions shrink the output).
+    /// `flush_seq` is the buffer-flush watermark to persist in the
+    /// preamble: `None` marks a buffer-flush run (watermark = its own
+    /// creation time); merge outputs pass the owning tree's current
+    /// `last_flush_seq` (see [`RunMeta::flush_seq`]).
+    #[allow(clippy::too_many_arguments)] // two call sites (flush, merge); a params struct would obscure the layout inputs
+    pub(crate) fn new(
+        cfg: &GeckoConfig,
+        geo: &Geometry,
+        dev: &FlashDevice,
+        entries: Vec<GeckoEntry>,
+        merged_from: Vec<RunId>,
+        supersedes_since: Option<u64>,
+        flush_seq: Option<u64>,
+        min_level: u32,
+        purpose: IoPurpose,
+    ) -> Self {
+        debug_assert!(!entries.is_empty());
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].key < w[1].key),
+            "run entries must be sorted"
+        );
+        let v = cfg.entries_per_page(geo) as usize;
+        let id = RunId(dev.now_seq());
+        let n_pages = entries.len().div_ceil(v);
+        let level = cfg.level_for(n_pages as u64).max(min_level);
+        let created_seq = dev.now_seq();
+        let meta = RunMeta {
+            id,
+            level,
+            created_seq,
+            flush_seq: flush_seq.unwrap_or(created_seq),
+            merged_from,
+            supersedes_since: supersedes_since.unwrap_or(created_seq),
+        };
+        // Build the run's Bloom filter while the keys are in RAM anyway.
+        let filter = (cfg.bloom_bits_per_key > 0).then(|| {
+            let mut f = RunFilter::new(entries.len(), cfg.bloom_bits_per_key);
+            for e in &entries {
+                f.insert(e.key);
+            }
+            f
+        });
+        let ranges = entries
+            .chunks(v)
+            .map(|c| (c.first().unwrap().key, c.last().unwrap().key))
+            .collect();
+        RunWriter {
+            meta,
+            entries,
+            next: 0,
+            v,
+            n_pages,
+            ranges,
+            dir: Vec::with_capacity(n_pages),
+            filter,
+            purpose,
+        }
+    }
+
+    /// Whether every page (including the postamble page) has been written.
+    pub(crate) fn sealed(&self) -> bool {
+        self.dir.len() == self.n_pages
+    }
+
+    /// Program the next page of the run. Returns `true` once sealed.
+    pub(crate) fn write_next_page(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+    ) -> bool {
+        debug_assert!(!self.sealed());
+        let i = self.dir.len();
+        let end = (self.next + self.v).min(self.entries.len());
+        let chunk: Vec<GeckoEntry> = self.entries[self.next..end].to_vec();
+        self.next = end;
+        let postamble = (i == self.n_pages - 1).then(|| Postamble {
+            total_pages: self.n_pages as u32,
+            ranges: std::mem::take(&mut self.ranges),
+            ppns: self.dir.iter().map(|d| d.ppn).collect(),
+        });
+        let (first, last) = (chunk.first().unwrap().key, chunk.last().unwrap().key);
+        let payload = GeckoPagePayload {
+            run_id: self.meta.id,
+            page_index: i as u32,
+            entries: chunk,
+            preamble: (i == 0).then(|| self.meta.clone()),
+            postamble,
+        };
+        let ppn = sink.append_meta(
+            dev,
+            MetaKind::GeckoRun,
+            self.meta.id.0,
+            PageData::blob_of(payload),
+            self.purpose,
+        );
+        self.dir.push(RunDirEntry { ppn, first, last });
+        self.sealed()
+    }
+
+    /// Consume the sealed writer into its run directory, handing the (now
+    /// drained) entry buffer back for reuse.
+    pub(crate) fn into_run(mut self) -> (Run, Vec<GeckoEntry>) {
+        debug_assert!(self.sealed());
+        let entry_count = self.entries.len() as u64;
+        self.entries.clear();
+        (
+            Run {
+                meta: self.meta,
+                pages: self.dir,
+                entry_count,
+                filter: self.filter,
+            },
+            self.entries,
+        )
+    }
+
+    /// RAM currently held by the writer (Appendix-B style accounting).
+    fn ram_bytes(&self, entry_bytes: u64) -> u64 {
+        self.entries.len() as u64 * entry_bytes
+            + (self.dir.capacity() + self.ranges.len()) as u64
+                * std::mem::size_of::<RunDirEntry>() as u64
+            + self.filter.as_ref().map_or(0, RunFilter::ram_bytes)
+    }
+}
+
+/// The resumable state of one merge: which runs it folds, and how far the
+/// Read → fold → Write pipeline has progressed.
+#[derive(Debug)]
+pub struct MergeJob {
+    /// The owning tree's tuning and geometry, captured at plan time (both
+    /// are `Copy`); the write phase sizes output pages from them.
+    cfg: GeckoConfig,
+    geo: Geometry,
+    /// Participants in data-age order, newest first.
+    inputs: Vec<JobInput>,
+    /// Level floor for the output (the deepest participant's level).
+    min_level: u32,
+    /// Whether the output will be the deepest run, allowing pure
+    /// tombstones and empty entries to be dropped.
+    output_is_largest: bool,
+    phase: Phase,
+}
+
+#[derive(Debug)]
+enum Phase {
+    /// Reading participant pages; `next` is a flat cursor over the
+    /// concatenation of all participants' page lists.
+    Read {
+        next: usize,
+        streams: Vec<Vec<GeckoEntry>>,
+    },
+    /// Writing the folded output.
+    Write(RunWriter),
+}
+
+/// Outcome of stepping a job.
+enum StepResult {
+    /// Budget spent; more IO remains.
+    InProgress,
+    /// The job completed within this step.
+    Done(FinishedMerge),
+}
+
+impl MergeJob {
+    /// Plan a merge of `inputs` (newest data first).
+    pub fn new(
+        cfg: GeckoConfig,
+        geo: Geometry,
+        inputs: Vec<JobInput>,
+        min_level: u32,
+        output_is_largest: bool,
+    ) -> Self {
+        let streams = inputs
+            .iter()
+            .map(|i| Vec::with_capacity(i.entry_count as usize))
+            .collect();
+        MergeJob {
+            cfg,
+            geo,
+            inputs,
+            min_level,
+            output_is_largest,
+            phase: Phase::Read { next: 0, streams },
+        }
+    }
+
+    /// Total flash pages this job still has to read and write. The write
+    /// side is unknown until the fold runs; it is bounded by (and typically
+    /// close to) the total read side, so the estimate is the remaining
+    /// reads plus one write per input page.
+    pub fn debt_pages(&self) -> u64 {
+        match &self.phase {
+            Phase::Read { next, .. } => {
+                let total: usize = self.inputs.iter().map(|i| i.pages.len()).sum();
+                (total - next) as u64 + total as u64
+            }
+            Phase::Write(w) => (w.n_pages - w.dir.len()) as u64,
+        }
+    }
+
+    /// Output pages already programmed by a not-yet-sealed write phase
+    /// (orphans on flash if a crash hits now — recovery must discard them).
+    pub fn unsealed_output_pages(&self) -> u64 {
+        match &self.phase {
+            Phase::Read { .. } => 0,
+            Phase::Write(w) => w.dir.len() as u64,
+        }
+    }
+
+    /// Run up to `budget` page-IOs of this job. `entries_dropped` counts
+    /// entries the fold discards as obsolete (Algorithm 3's collision
+    /// resolution plus largest-run tombstone dropping); `flush_watermark`
+    /// is the owning tree's current `last_flush_seq`, persisted in the
+    /// output's preamble (see [`RunMeta::flush_seq`]).
+    fn step(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+        budget: &mut u64,
+        entries_dropped: &mut u64,
+        flush_watermark: u64,
+    ) -> StepResult {
+        if *budget == 0 {
+            return StepResult::InProgress;
+        }
+        match &mut self.phase {
+            Phase::Read { next, streams } => {
+                let total: usize = self.inputs.iter().map(|i| i.pages.len()).sum();
+                while *next < total && *budget > 0 {
+                    // Map the flat cursor to (participant, page).
+                    let (mut p, mut off) = (0usize, *next);
+                    while off >= self.inputs[p].pages.len() {
+                        off -= self.inputs[p].pages.len();
+                        p += 1;
+                    }
+                    let ppn = self.inputs[p].pages[off].ppn;
+                    let data = dev
+                        .read_page(ppn, IoPurpose::ValidityMerge)
+                        .expect("run page readable during merge");
+                    let payload = data.blob::<GeckoPagePayload>().expect("gecko page payload");
+                    streams[p].extend(payload.entries.iter().cloned());
+                    *next += 1;
+                    *budget -= 1;
+                }
+                if *next < total {
+                    return StepResult::InProgress;
+                }
+                // All pages in RAM: fold now (no IO, free in simulated
+                // time) and move to the write phase.
+                let merged = fold_streams(
+                    std::mem::take(streams),
+                    self.output_is_largest,
+                    entries_dropped,
+                );
+                if merged.is_empty() {
+                    return StepResult::Done(FinishedMerge {
+                        inputs: std::mem::take(&mut self.inputs),
+                        output: None,
+                    });
+                }
+                self.phase = Phase::Write(RunWriter::new(
+                    &self.cfg,
+                    &self.geo,
+                    dev,
+                    merged,
+                    self.inputs.iter().map(|i| i.meta.id).collect(),
+                    self.inputs.iter().map(|i| i.meta.supersedes_since).min(),
+                    Some(flush_watermark),
+                    self.min_level,
+                    IoPurpose::ValidityMerge,
+                ));
+                // End the step at the phase boundary: output writes
+                // causally depend on every input read, so they must not
+                // share this step's channel-overlap window with the
+                // reads they wait on (the clock would hide the writes
+                // behind the reads).
+                StepResult::InProgress
+            }
+            Phase::Write(writer) => {
+                while *budget > 0 {
+                    *budget -= 1;
+                    if writer.write_next_page(dev, sink) {
+                        let Phase::Write(writer) = std::mem::replace(
+                            &mut self.phase,
+                            Phase::Read {
+                                next: 0,
+                                streams: Vec::new(),
+                            },
+                        ) else {
+                            unreachable!("phase checked above")
+                        };
+                        let (run, _) = writer.into_run();
+                        return StepResult::Done(FinishedMerge {
+                            inputs: std::mem::take(&mut self.inputs),
+                            output: Some(run),
+                        });
+                    }
+                }
+                StepResult::InProgress
+            }
+        }
+    }
+
+    /// RAM held by this job's buffers (streams or merged output + dir).
+    fn ram_bytes(&self, entry_bytes: u64) -> u64 {
+        let dir_bytes: u64 = self
+            .inputs
+            .iter()
+            .map(|i| i.pages.len() as u64 * std::mem::size_of::<RunDirEntry>() as u64)
+            .sum();
+        dir_bytes
+            + match &self.phase {
+                Phase::Read { streams, .. } => streams
+                    .iter()
+                    .map(|s| s.len() as u64 * entry_bytes)
+                    .sum::<u64>(),
+                Phase::Write(w) => w.ram_bytes(entry_bytes),
+            }
+    }
+}
+
+/// K-way sorted merge with collision folding (Algorithm 3). Streams are
+/// ordered newest-first, so on key ties the lowest stream index is newest.
+fn fold_streams(
+    streams: Vec<Vec<GeckoEntry>>,
+    output_is_largest: bool,
+    entries_dropped: &mut u64,
+) -> Vec<GeckoEntry> {
+    let mut cursors = vec![0usize; streams.len()];
+    let mut merged = Vec::new();
+    loop {
+        let mut min_key: Option<GeckoKey> = None;
+        for (s, stream) in streams.iter().enumerate() {
+            if let Some(e) = stream.get(cursors[s]) {
+                if min_key.is_none_or(|m| e.key < m) {
+                    min_key = Some(e.key);
+                }
+            }
+        }
+        let Some(key) = min_key else { break };
+        let mut folded: Option<GeckoEntry> = None;
+        for (s, stream) in streams.iter().enumerate() {
+            if let Some(e) = stream.get(cursors[s]) {
+                if e.key == key {
+                    cursors[s] += 1;
+                    folded = Some(match folded {
+                        None => e.clone(),
+                        Some(newer) => {
+                            *entries_dropped += 1;
+                            GeckoEntry::merge_collision(&newer, e)
+                        }
+                    });
+                }
+            }
+        }
+        let entry = folded.expect("at least one stream supplied the key");
+        let keep = if entry.erase_flag {
+            // Erase markers with no newer bits are pure tombstones; they
+            // can be dropped once nothing older can exist below them.
+            !(output_is_largest && entry.bitmap.is_empty())
+        } else {
+            !entry.bitmap.is_empty()
+        };
+        if keep {
+            merged.push(entry);
+        } else {
+            *entries_dropped += 1;
+        }
+    }
+    merged
+}
+
+/// Per-channel merge queues plus dispatch bookkeeping.
+#[derive(Debug)]
+pub struct MergeScheduler {
+    /// One FIFO of jobs per flash channel (the per-channel merge workers).
+    queues: Vec<VecDeque<MergeJob>>,
+    /// Round-robin dispatch cursor.
+    next_channel: usize,
+}
+
+impl MergeScheduler {
+    /// An idle scheduler for a device with `channels` logical units.
+    pub fn new(channels: u32) -> Self {
+        MergeScheduler {
+            queues: (0..channels.max(1)).map(|_| VecDeque::new()).collect(),
+            next_channel: 0,
+        }
+    }
+
+    /// Whether no job is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.queues.iter().all(VecDeque::is_empty)
+    }
+
+    /// Number of queued + in-flight jobs.
+    pub fn pending_jobs(&self) -> usize {
+        self.queues.iter().map(VecDeque::len).sum()
+    }
+
+    /// Total flash page-IO debt of all pending jobs.
+    pub fn debt_pages(&self) -> u64 {
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter().map(MergeJob::debt_pages))
+            .sum()
+    }
+
+    /// Output pages programmed by unsealed write phases across all jobs.
+    pub fn unsealed_output_pages(&self) -> u64 {
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter().map(MergeJob::unsealed_output_pages))
+            .sum()
+    }
+
+    /// Dispatch a job onto the next channel's queue, round-robin.
+    ///
+    /// A single tree's cascade keeps at most one job in flight (planning
+    /// happens only on a settled structure), and [`RunWriter`]'s run-id
+    /// uniqueness *depends* on that: ids are minted from the device
+    /// sequence number at fold time, and page reads don't bump the seq, so
+    /// two jobs folding in the same pump could mint the same id. The
+    /// assert makes the invariant loud for whoever adds sharded trees —
+    /// multi-job dispatch must first switch to reserved id allocation.
+    pub fn enqueue(&mut self, job: MergeJob) {
+        debug_assert!(
+            self.is_idle(),
+            "one merge job in flight per tree (run-id uniqueness relies on it)"
+        );
+        let ch = self.next_channel;
+        self.next_channel = (self.next_channel + 1) % self.queues.len();
+        self.queues[ch].push_back(job);
+    }
+
+    /// Pump every channel's head job by up to `budget` page-IOs, inside one
+    /// channel-overlap window so distinct channels' IO coincides in
+    /// simulated time. Returns the jobs that completed; the caller installs
+    /// their outputs (and may enqueue follow-on cascade jobs).
+    #[allow(clippy::too_many_arguments)] // single call site in LogGecko::pump_merges
+    pub fn step_channels(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+        budget: u64,
+        entries_dropped: &mut u64,
+        pages_stepped: &mut u64,
+        flush_watermark: u64,
+    ) -> Vec<FinishedMerge> {
+        let mut finished = Vec::new();
+        if self.is_idle() {
+            return finished;
+        }
+        dev.begin_overlap();
+        for queue in &mut self.queues {
+            let Some(job) = queue.front_mut() else {
+                continue;
+            };
+            let mut remaining = budget;
+            let result = job.step(dev, sink, &mut remaining, entries_dropped, flush_watermark);
+            *pages_stepped += budget - remaining;
+            if let StepResult::Done(done) = result {
+                queue.pop_front();
+                finished.push(done);
+            }
+        }
+        dev.end_overlap();
+        finished
+    }
+
+    /// RAM held by queued and in-flight jobs: entry streams, folded output
+    /// buffers and cloned run directories. Charged to the validity store's
+    /// footprint so the RAM-utilization experiment stays honest about what
+    /// incremental merging buffers.
+    pub fn ram_bytes(&self, entry_bytes: u64) -> u64 {
+        self.queues
+            .iter()
+            .flat_map(|q| q.iter().map(|j| j.ram_bytes(entry_bytes)))
+            .sum()
+    }
+}

@@ -1,0 +1,403 @@
+//! Property tests of the incremental merge scheduler: at every step budget
+//! (including 1) it must produce **byte-identical** Logarithmic Gecko state
+//! and query results to synchronous merging, queries must stay correct while
+//! a merge is in flight, and a crash mid-merge — including mid-output-write,
+//! with orphan pages on flash — must recover exactly.
+
+use flash_sim::{BlockId, FlashDevice, Geometry, Lpn, Ppn};
+use geckoftl_core::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
+use geckoftl_core::gecko::{GeckoConfig, LogGecko};
+use geckoftl_core::recovery::gecko_recover;
+use geckoftl_core::validity::FlatMetaSink;
+use std::collections::HashMap;
+
+struct Lcg(u64);
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// Small pages so flushes and multi-level merges happen at test scale.
+fn small_page_cfg(size_ratio: u32, multiway: bool) -> GeckoConfig {
+    GeckoConfig {
+        size_ratio,
+        multiway_merge: multiway,
+        page_header_bytes: 4096 - 40, // ≈6 entries per page
+        ..GeckoConfig::default()
+    }
+}
+
+fn harness(cfg: GeckoConfig) -> (FlashDevice, FlatMetaSink, LogGecko) {
+    let geo = Geometry::tiny();
+    let dev = FlashDevice::new(geo);
+    let sink = FlatMetaSink::new((32..64).map(BlockId).collect());
+    let gecko = LogGecko::new(geo, cfg);
+    (dev, sink, gecko)
+}
+
+/// Drive one pseudo-random update/erase stream into a Gecko instance,
+/// pumping the incremental scheduler with `step_pages` after every
+/// operation (0 = never pump; merges then settle only via flush drains).
+fn drive(
+    gecko: &mut LogGecko,
+    dev: &mut FlashDevice,
+    sink: &mut FlatMetaSink,
+    seed: u64,
+    ops: u64,
+    step_pages: u64,
+) {
+    let geo = dev.geometry();
+    let mut rng = Lcg(seed);
+    for _ in 0..ops {
+        let x = rng.next();
+        if x.is_multiple_of(23) {
+            gecko.note_erase(dev, sink, BlockId((x >> 8) as u32 % 32));
+        } else {
+            let page = (x >> 8) % (32 * geo.pages_per_block as u64);
+            gecko.mark_invalid(dev, sink, Ppn(page as u32));
+        }
+        if step_pages > 0 {
+            gecko.pump_merges(dev, sink, step_pages);
+        }
+    }
+}
+
+/// Assert two Gecko instances hold byte-identical structure: same levels,
+/// and per run the same identity, lineage, directory (physical addresses
+/// included), entry counts and Bloom filter bits.
+fn assert_state_identical(a: &LogGecko, b: &LogGecko, label: &str) {
+    let ra: Vec<_> = a.runs_newest_first().collect();
+    let rb: Vec<_> = b.runs_newest_first().collect();
+    assert_eq!(ra.len(), rb.len(), "{label}: run count");
+    for (x, y) in ra.iter().zip(&rb) {
+        assert_eq!(x.meta, y.meta, "{label}: run metadata");
+        assert_eq!(x.pages, y.pages, "{label}: run directory");
+        assert_eq!(x.entry_count, y.entry_count, "{label}: entry count");
+        assert_eq!(x.filter, y.filter, "{label}: bloom filter");
+    }
+    assert_eq!(a.buffer_len(), b.buffer_len(), "{label}: buffer");
+    assert_eq!(a.last_flush_seq(), b.last_flush_seq(), "{label}: flush seq");
+    assert_eq!(a.stats.merges, b.stats.merges, "{label}: merge count");
+}
+
+/// The tentpole equivalence property: for several step budgets (including
+/// the minimal 1-page step), interleaving bounded merge slices with the
+/// update stream ends in exactly the state synchronous merging produces —
+/// same runs, same flash addresses, same filters — and identical GC query
+/// results at every block, both mid-stream (merge in flight) and settled.
+#[test]
+fn incremental_merges_match_sync_byte_for_byte() {
+    for (size_ratio, multiway) in [(2, true), (2, false), (3, true)] {
+        let sync_cfg = GeckoConfig {
+            sync_merge: true,
+            ..small_page_cfg(size_ratio, multiway)
+        };
+        let (mut sdev, mut ssink, mut sync) = harness(sync_cfg);
+        // The sync reference is driven without pumping (nothing to pump).
+        drive(&mut sync, &mut sdev, &mut ssink, 0xFEED, 3000, 0);
+        sync.flush(&mut sdev, &mut ssink);
+
+        for step_pages in [1u64, 2, 3, 7, 64] {
+            let inc_cfg = GeckoConfig {
+                sync_merge: false,
+                ..small_page_cfg(size_ratio, multiway)
+            };
+            let (mut idev, mut isink, mut inc) = harness(inc_cfg);
+            drive(&mut inc, &mut idev, &mut isink, 0xFEED, 3000, step_pages);
+            // Mid-stream the structures may differ transiently (a merge may
+            // be in flight) but every query must already agree.
+            for b in 0..32 {
+                let want = sync.gc_query(&mut sdev, BlockId(b));
+                let got = inc.gc_query(&mut idev, BlockId(b));
+                for i in 0..16 {
+                    assert_eq!(
+                        want.get(i),
+                        got.get(i),
+                        "T={size_ratio} mw={multiway} step={step_pages}: \
+                         mid-stream query bit {b}:{i}"
+                    );
+                }
+            }
+            // Quiesce: flush (drains) must land on the identical state.
+            inc.flush(&mut idev, &mut isink);
+            inc.drain_merges(&mut idev, &mut isink);
+            assert_eq!(inc.merge_jobs_pending(), 0);
+            assert_state_identical(
+                &sync,
+                &inc,
+                &format!("T={size_ratio} mw={multiway} step={step_pages}"),
+            );
+        }
+    }
+}
+
+/// Never pumping at all is the pathological cadence: every merge is paid as
+/// a forced drain at the next flush. State must still match sync exactly,
+/// and the stalls must be visible in the stats.
+#[test]
+fn unpumped_scheduler_settles_via_flush_drains() {
+    let (mut sdev, mut ssink, mut sync) = harness(GeckoConfig {
+        sync_merge: true,
+        ..small_page_cfg(2, true)
+    });
+    drive(&mut sync, &mut sdev, &mut ssink, 31, 4000, 0);
+    sync.flush(&mut sdev, &mut ssink);
+
+    let (mut idev, mut isink, mut inc) = harness(small_page_cfg(2, true));
+    drive(&mut inc, &mut idev, &mut isink, 31, 4000, 0);
+    inc.flush(&mut idev, &mut isink);
+    inc.drain_merges(&mut idev, &mut isink);
+    assert_state_identical(&sync, &inc, "unpumped");
+    assert!(
+        inc.stats.merge_stall_drains > 0,
+        "unpumped merges must surface as forced drains"
+    );
+    assert_eq!(sync.stats.merge_stall_drains, 0, "sync never stalls");
+}
+
+fn incremental_engine(merge_step_pages: u32) -> FtlEngine {
+    let geo = Geometry::tiny();
+    let cfg = FtlConfig {
+        cache_entries: 64,
+        gc_free_threshold: 8,
+        gc_policy: GcPolicy::MetadataAware,
+        recovery: RecoveryPolicy::CheckpointDeferred,
+        checkpoint_period: None,
+    };
+    let gecko = LogGecko::new(
+        geo,
+        GeckoConfig {
+            page_header_bytes: geo.page_bytes - 64,
+            sync_merge: false,
+            merge_step_pages,
+            ..GeckoConfig::paper_default(&geo)
+        },
+    );
+    FtlEngine::format(geo, cfg, ValidityBackend::Gecko(gecko))
+}
+
+fn run_workload(engine: &mut FtlEngine, oracle: &mut HashMap<u32, u64>, rng: &mut Lcg, n: u64) {
+    let logical = engine.geometry().logical_pages() as u32;
+    for i in 0..n {
+        let lpn = (rng.next() % logical as u64) as u32;
+        let version = oracle.len() as u64 * 1_000_000 + i;
+        engine.write(Lpn(lpn), version);
+        oracle.insert(lpn, version);
+    }
+}
+
+fn verify_all(engine: &mut FtlEngine, oracle: &HashMap<u32, u64>) {
+    let logical = engine.geometry().logical_pages() as u32;
+    for lpn in 0..logical {
+        assert_eq!(
+            engine.read(Lpn(lpn)),
+            oracle.get(&lpn).copied(),
+            "post-check for L{lpn}"
+        );
+    }
+}
+
+/// Crash while a merge is in flight — including specifically while the
+/// output run is partially written, leaving orphan pages on flash — and
+/// recover with GeckoRec. No data may be lost, the orphan pages must be
+/// discarded (the inputs stay live), and operation must continue cleanly.
+#[test]
+fn crash_mid_merge_recovers_exactly() {
+    let mut rng = Lcg(0xC0FFEE);
+    let mut crashed_mid_write = 0u32;
+    let mut crashed_mid_merge = 0u32;
+    for round in 0..6u64 {
+        let mut engine = incremental_engine(1); // 1-page steps: maximal exposure
+        let mut oracle = HashMap::new();
+        run_workload(&mut engine, &mut oracle, &mut rng, 1200 + 311 * round);
+        // Keep writing until a merge is observably in flight, preferring a
+        // partially written (unsealed) output run.
+        for _ in 0..4000 {
+            let g = engine.backend().gecko().expect("gecko backend");
+            if g.unsealed_merge_pages() > 0 {
+                crashed_mid_write += 1;
+                break;
+            }
+            if g.merge_jobs_pending() > 0 && rng.next().is_multiple_of(7) {
+                break;
+            }
+            run_workload(&mut engine, &mut oracle, &mut rng, 1);
+        }
+        if engine
+            .backend()
+            .gecko()
+            .expect("gecko backend")
+            .merge_jobs_pending()
+            > 0
+        {
+            crashed_mid_merge += 1;
+        }
+        let cfg = engine.config();
+        let gecko_cfg = engine.backend().gecko().expect("gecko backend").config();
+        let dev = engine.crash();
+        let (mut recovered, _) = gecko_recover(dev, cfg, gecko_cfg);
+        verify_all(&mut recovered, &oracle);
+        // Satellite: recovery's step-5 scan rebuilds per-run Bloom filters
+        // (and entry counts) at no extra IO, so recovered runs serve
+        // fast-path queries immediately.
+        let g = recovered.backend().gecko().expect("gecko backend");
+        for run in g.runs_newest_first() {
+            assert!(run.filter.is_some(), "recovered run must carry a filter");
+            assert!(run.entry_count > 0, "recovered entry count must be real");
+        }
+        // The recovered engine keeps operating (and merging) correctly.
+        run_workload(&mut recovered, &mut oracle, &mut rng, 1500);
+        verify_all(&mut recovered, &oracle);
+    }
+    assert!(
+        crashed_mid_merge >= 2,
+        "rounds must actually crash mid-merge (got {crashed_mid_merge})"
+    );
+    assert!(
+        crashed_mid_write >= 1,
+        "at least one crash must hit a partially written output run"
+    );
+}
+
+/// Regression: the recovery flush-watermark bug. With incremental merging,
+/// a merge output run is written *after* the flush that scheduled it — by
+/// then, new erases and invalidations have entered the RAM buffer. If
+/// recovery derived "time of last flush" from the output's `created_seq`
+/// (as it did when merges were synchronous, where the two moments
+/// coincide), its step-4a window would skip those buffered erase markers,
+/// stale invalid bits from deeper runs would apply to the blocks' new
+/// lives, and GC would erase live data. Crash deliberately at moments where
+/// a pump-driven install has completed while the buffer holds fresh
+/// reports, and verify every logical page survives.
+#[test]
+fn crash_after_deferred_install_keeps_buffered_reports() {
+    let mut rng = Lcg(0xBADF00D);
+    let mut crashes_at_risk = 0u32;
+    for round in 0..8u64 {
+        let mut engine = incremental_engine(1);
+        let mut oracle = HashMap::new();
+        run_workload(&mut engine, &mut oracle, &mut rng, 900 + 217 * round);
+        // Hunt for the dangerous window: a merge output has been installed
+        // (no job pending, so its preamble is the newest run metadata on
+        // flash) *after* some user block was erased post-flush — that
+        // erase's marker lives only in the RAM buffer, and only the
+        // persisted flush watermark lets recovery re-create it.
+        for _ in 0..5000 {
+            let g = engine.backend().gecko().expect("gecko backend");
+            let flush_seq = g.last_flush_seq();
+            let newest_run_seq = g
+                .runs_newest_first()
+                .map(|r| r.meta.created_seq)
+                .max()
+                .unwrap_or(0);
+            let erased_since_flush = engine.geometry().iter_blocks().any(|b| {
+                let e = engine.device().erase_seq(b);
+                e > flush_seq && e < newest_run_seq
+            });
+            if g.merge_jobs_pending() == 0 && newest_run_seq > flush_seq && erased_since_flush {
+                crashes_at_risk += 1;
+                break;
+            }
+            run_workload(&mut engine, &mut oracle, &mut rng, 1);
+        }
+        let cfg = engine.config();
+        let gecko_cfg = engine.backend().gecko().expect("gecko backend").config();
+        let (mut recovered, _) = gecko_recover(engine.crash(), cfg, gecko_cfg);
+        verify_all(&mut recovered, &oracle);
+        run_workload(&mut recovered, &mut oracle, &mut rng, 1200);
+        verify_all(&mut recovered, &oracle);
+    }
+    assert!(
+        crashes_at_risk >= 4,
+        "rounds must hit the deferred-install-with-buffered-reports window \
+         (got {crashes_at_risk})"
+    );
+}
+
+/// Engine-level A/B: a full FTL on the incremental scheduler serves the
+/// exact same data as one merging synchronously, under GC pressure, at
+/// several step budgets. (Physical layout may differ — merge IO interleaves
+/// differently with user writes — but every logical read must agree.)
+#[test]
+fn engine_equivalence_across_step_budgets() {
+    let geo = Geometry::tiny();
+    let build = |sync: bool, step: u32| {
+        let cfg = FtlConfig {
+            cache_entries: 64,
+            gc_free_threshold: 8,
+            gc_policy: GcPolicy::MetadataAware,
+            recovery: RecoveryPolicy::CheckpointDeferred,
+            checkpoint_period: None,
+        };
+        let gecko = LogGecko::new(
+            geo,
+            GeckoConfig {
+                page_header_bytes: geo.page_bytes - 64,
+                sync_merge: sync,
+                merge_step_pages: step,
+                ..GeckoConfig::paper_default(&geo)
+            },
+        );
+        FtlEngine::format(geo, cfg, ValidityBackend::Gecko(gecko))
+    };
+    for (sync, step) in [(true, 1), (false, 1), (false, 4), (false, 32)] {
+        let mut engine = build(sync, step);
+        let mut oracle = HashMap::new();
+        let mut rng = Lcg(0xAB);
+        run_workload(&mut engine, &mut oracle, &mut rng, 6000);
+        assert!(engine.counters.gc_operations > 20, "GC must run");
+        let gecko = engine.backend().gecko().expect("gecko backend");
+        assert!(gecko.stats.merges > 0, "merges must run");
+        if !sync {
+            assert!(
+                gecko.stats.merge_pages_stepped > 0,
+                "incremental merges must flow through the scheduler"
+            );
+        }
+        verify_all(&mut engine, &oracle);
+        // Idle ticks drain the backlog without a flush.
+        while engine.idle_tick() {}
+        assert_eq!(
+            engine
+                .backend()
+                .gecko()
+                .expect("gecko backend")
+                .merge_backlog_pages(),
+            0
+        );
+        verify_all(&mut engine, &oracle);
+    }
+}
+
+/// The RAM report must charge queued merge-job state while work is pending
+/// (fig14 honesty): a Gecko with a job in flight reports more validity RAM
+/// than the same Gecko settled.
+#[test]
+fn ram_footprint_accounts_for_queued_merge_state() {
+    let (mut dev, mut sink, mut gecko) = harness(small_page_cfg(2, true));
+    drive(&mut gecko, &mut dev, &mut sink, 77, 2500, 0);
+    // Find a moment with a pending job holding buffered entries.
+    let mut pending_ram = None;
+    for _ in 0..2000 {
+        if gecko.merge_jobs_pending() > 0 {
+            // Pump partway so the job's streams hold entries.
+            gecko.pump_merges(&mut dev, &mut sink, 1);
+            pending_ram = Some(gecko.ram_bytes());
+            break;
+        }
+        drive(&mut gecko, &mut dev, &mut sink, 78, 1, 0);
+    }
+    let pending_ram = pending_ram.expect("workload must leave a job pending");
+    gecko.drain_merges(&mut dev, &mut sink);
+    let settled_ram = gecko.ram_bytes();
+    assert!(
+        pending_ram > settled_ram,
+        "pending merge buffers must be visible in RAM accounting \
+         ({pending_ram} ≤ {settled_ram})"
+    );
+}

@@ -166,6 +166,14 @@ impl Geometry {
         self.ppn(block, PageOffset(0))
     }
 
+    /// The logical unit (channel/die) a block is wired to. Blocks stripe
+    /// round-robin across channels, the standard interleaved layout; IO on
+    /// blocks of distinct channels can proceed in parallel (see
+    /// [`crate::FlashDevice::begin_overlap`]).
+    pub fn channel_of(&self, block: BlockId) -> u32 {
+        block.0 % self.channels
+    }
+
     /// Whether `ppn` addresses a page that exists on this device.
     pub fn contains(&self, ppn: Ppn) -> bool {
         (ppn.0 as u64) < self.total_pages()

@@ -198,6 +198,12 @@ impl IoCounts {
 #[derive(Clone, Debug, Default)]
 pub struct IoStats {
     per_purpose: [IoCounts; IoPurpose::COUNT],
+    /// Nominal device busy time accumulated per purpose, in microseconds.
+    /// This is the *serial* cost of the IO; when operations overlap across
+    /// channels (see [`crate::FlashDevice::begin_overlap`]) the simulated
+    /// clock advances by less than the busy time, and the difference is the
+    /// parallelism the latency model made visible.
+    busy_us: [f64; IoPurpose::COUNT],
     /// Number of logical page updates issued by the application. The FTL is
     /// responsible for bumping this once per application write.
     pub logical_writes: u64,
@@ -226,6 +232,21 @@ impl IoStats {
         self.per_purpose[purpose.index()].erases += 1;
     }
 
+    /// Record `us` microseconds of device busy time for one purpose.
+    pub fn record_busy_us(&mut self, purpose: IoPurpose, us: f64) {
+        self.busy_us[purpose.index()] += us;
+    }
+
+    /// Nominal (serial) busy time accumulated for one purpose.
+    pub fn busy_us(&self, purpose: IoPurpose) -> f64 {
+        self.busy_us[purpose.index()]
+    }
+
+    /// Total nominal busy time across all purposes.
+    pub fn total_busy_us(&self) -> f64 {
+        self.busy_us.iter().sum()
+    }
+
     /// Counts accumulated for one purpose.
     pub fn counts(&self, purpose: IoPurpose) -> IoCounts {
         self.per_purpose[purpose.index()]
@@ -245,6 +266,7 @@ impl IoStats {
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             per_purpose: self.per_purpose,
+            busy_us: self.busy_us,
             logical_writes: self.logical_writes,
             logical_reads: self.logical_reads,
         }
@@ -256,8 +278,13 @@ impl IoStats {
         for (i, slot) in per_purpose.iter_mut().enumerate() {
             *slot = self.per_purpose[i].sub(snap.per_purpose[i]);
         }
+        let mut busy_us = [0.0; IoPurpose::COUNT];
+        for (i, slot) in busy_us.iter_mut().enumerate() {
+            *slot = self.busy_us[i] - snap.busy_us[i];
+        }
         StatsSnapshot {
             per_purpose,
+            busy_us,
             logical_writes: self.logical_writes - snap.logical_writes,
             logical_reads: self.logical_reads - snap.logical_reads,
         }
@@ -268,6 +295,7 @@ impl IoStats {
 #[derive(Clone, Debug)]
 pub struct StatsSnapshot {
     per_purpose: [IoCounts; IoPurpose::COUNT],
+    busy_us: [f64; IoPurpose::COUNT],
     /// Logical page updates covered by this snapshot/delta.
     pub logical_writes: u64,
     /// Logical page reads covered by this snapshot/delta.
@@ -278,6 +306,11 @@ impl StatsSnapshot {
     /// Counts for one purpose.
     pub fn counts(&self, purpose: IoPurpose) -> IoCounts {
         self.per_purpose[purpose.index()]
+    }
+
+    /// Nominal (serial) busy time for one purpose, in microseconds.
+    pub fn busy_us(&self, purpose: IoPurpose) -> f64 {
+        self.busy_us[purpose.index()]
     }
 
     /// Aggregate counts for one Figure-13 category.

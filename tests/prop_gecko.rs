@@ -41,7 +41,20 @@ fn check_all_blocks(gecko: &mut LogGecko, dev: &mut FlashDevice, model: &Model, 
     }
 }
 
-fn run_case(ops: &[Op], size_ratio: u32, partitions: u32, multiway: bool, header: u32) {
+/// `pump_budget`: `None` runs the synchronous A/B mode (merges complete
+/// inside the update path, so every op observes a settled structure);
+/// `Some(n)` runs the incremental scheduler, pumping `n` page-IOs per op —
+/// mid-flight a level may legally hold both (still queryable) participants
+/// of a pending merge, so the one-run-per-level invariant is checked only
+/// once the scheduler drains.
+fn run_case(
+    ops: &[Op],
+    size_ratio: u32,
+    partitions: u32,
+    multiway: bool,
+    header: u32,
+    pump_budget: Option<u64>,
+) {
     let geo = Geometry::tiny();
     let mut dev = FlashDevice::new(geo);
     let mut sink = FlatMetaSink::new((32..64).map(BlockId).collect());
@@ -51,6 +64,7 @@ fn run_case(ops: &[Op], size_ratio: u32, partitions: u32, multiway: bool, header
         multiway_merge: multiway,
         key_bytes: 4,
         page_header_bytes: header,
+        sync_merge: pump_budget.is_none(),
         ..GeckoConfig::default()
     };
     let mut gecko = LogGecko::new(geo, cfg);
@@ -79,7 +93,12 @@ fn run_case(ops: &[Op], size_ratio: u32, partitions: u32, multiway: bool, header
                 }
             }
         }
-        // Structural invariant: each level holds at most one settled run.
+        if let Some(budget) = pump_budget {
+            gecko.pump_merges(&mut dev, &mut sink, budget);
+        }
+        // Structural invariant: each level holds at most one settled run
+        // (plus, mid-merge, the ≤ 2 participants of the pending job).
+        let cap = if pump_budget.is_some() { 2 } else { 1 };
         for (lvl, count) in
             gecko
                 .runs_newest_first()
@@ -88,8 +107,19 @@ fn run_case(ops: &[Op], size_ratio: u32, partitions: u32, multiway: bool, header
                     m
                 })
         {
-            assert!(count <= 1, "level {lvl} holds {count} runs");
+            assert!(count <= cap, "level {lvl} holds {count} runs");
         }
+    }
+    gecko.drain_merges(&mut dev, &mut sink);
+    for (lvl, count) in
+        gecko
+            .runs_newest_first()
+            .fold(std::collections::HashMap::new(), |mut m, r| {
+                *m.entry(r.meta.level).or_insert(0u32) += 1;
+                m
+            })
+    {
+        assert!(count <= 1, "settled level {lvl} holds {count} runs");
     }
     check_all_blocks(&mut gecko, &mut dev, &model, &geo);
 
@@ -109,7 +139,7 @@ proptest! {
     #[test]
     fn gecko_matches_bitmap_model_default_tuning(ops in prop::collection::vec(op_strategy(), 1..600)) {
         // Small pages (large header) so flushes and merges actually happen.
-        run_case(&ops, 2, 1, true, 4096 - 64);
+        run_case(&ops, 2, 1, true, 4096 - 64, None);
     }
 
     #[test]
@@ -120,7 +150,17 @@ proptest! {
         multiway in any::<bool>(),
     ) {
         let s = 1 << s_pow;
-        run_case(&ops, t, s.min(16), multiway, 4096 - 96);
+        run_case(&ops, t, s.min(16), multiway, 4096 - 96, None);
+    }
+
+    #[test]
+    fn gecko_incremental_scheduler_matches_bitmap_model(
+        ops in prop::collection::vec(op_strategy(), 1..400),
+        t in 2u32..4,
+        multiway in any::<bool>(),
+        budget in 1u64..8,     // merge step budget, incl. the minimal 1
+    ) {
+        run_case(&ops, t, 1, multiway, 4096 - 64, Some(budget));
     }
 
     #[test]
