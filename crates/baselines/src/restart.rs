@@ -118,6 +118,7 @@ pub fn restart_clean(kind: BaselineKind, mut dev: FlashDevice, cfg: FtlConfig) -
             BlockState::InUse(BlockGroup::User) => {
                 // Temporarily query through a throwaway manager-as-sink.
                 let mut scratch = BlockManager::from_recovered(
+                    &dev,
                     geo,
                     state.clone(),
                     vec![0; geo.blocks as usize],
@@ -137,7 +138,7 @@ pub fn restart_clean(kind: BaselineKind, mut dev: FlashDevice, cfg: FtlConfig) -
         };
     }
 
-    let mut bm = BlockManager::from_recovered(geo, state.clone(), bvc, false);
+    let mut bm = BlockManager::from_recovered(&dev, geo, state.clone(), bvc, false);
     for b in geo.iter_blocks() {
         if let BlockState::InUse(group) = state[b.0 as usize] {
             let written = dev.written_pages(b);

@@ -15,12 +15,13 @@
 //! merge IO happens, not *what* the FTL stores. Results land in
 //! `BENCH_merge_latency.json`.
 
+use crate::fuzz::oracle::audit_state;
 use crate::harness::fill_sequential;
 use crate::report::{f3, Table};
-use flash_sim::{Geometry, IoPurpose, Lpn, PageOffset, SpareInfo};
+use flash_sim::{Geometry, IoPurpose};
 use ftl_baselines::ftls::build_geckoftl_tuned;
 use ftl_workloads::{Mixed, WorkloadOp, Zipfian};
-use geckoftl_core::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy};
+use geckoftl_core::ftl::{FtlConfig, GcPolicy, RecoveryPolicy};
 use geckoftl_core::gecko::GeckoConfig;
 use std::time::Instant;
 
@@ -90,49 +91,6 @@ fn gecko_cfg(sync_merge: bool) -> GeckoConfig {
     }
 }
 
-/// Byte-level state oracle, run after the engine quiesces: every written
-/// user page must be marked invalid by the validity store **iff** it is not
-/// the current translation target of the logical page its spare area names.
-/// (After `shutdown_clean` every before-image has been identified, so there
-/// are no unidentified invalid pages left to excuse a mismatch.)
-fn audit_state(engine: &mut FtlEngine) -> bool {
-    let geo = engine.geometry();
-    for block in geo.iter_blocks() {
-        if engine
-            .block_manager()
-            .group_of(block)
-            .is_none_or(|g| g.is_metadata())
-        {
-            continue;
-        }
-        let written = engine.device().written_pages(block);
-        let lpns: Vec<Option<Lpn>> = (0..written)
-            .map(|off| {
-                let ppn = geo.ppn(block, PageOffset(off));
-                engine.device().peek_spare(ppn).and_then(|s| match s.info {
-                    SpareInfo::User { lpn, .. } => Some(lpn),
-                    _ => None,
-                })
-            })
-            .collect();
-        let invalid = engine.debug_validity(block);
-        for (off, lpn) in lpns.iter().enumerate() {
-            let ppn = geo.ppn(block, PageOffset(off as u32));
-            let Some(lpn) = lpn else { return false };
-            let live = engine.current_mapping(*lpn) == Some(ppn);
-            if live == invalid.get(off as u32) {
-                eprintln!(
-                    "   oracle mismatch: {block:?} page {off} (L{}) live={live} invalid={}",
-                    lpn.0,
-                    invalid.get(off as u32)
-                );
-                return false;
-            }
-        }
-    }
-    true
-}
-
 fn run_variant(name: String, sync_merge: bool, measured_writes: usize) -> VariantResult {
     let geo = geometry();
     let cfg = FtlConfig {
@@ -165,6 +123,11 @@ fn run_variant(name: String, sync_merge: bool, measured_writes: usize) -> Varian
             WorkloadOp::Read(lpn) => {
                 let _ = engine.read(lpn);
             }
+            WorkloadOp::Idle(ticks) => {
+                for _ in 0..ticks {
+                    engine.idle_tick();
+                }
+            }
         }
     }
 
@@ -189,6 +152,11 @@ fn run_variant(name: String, sync_merge: bool, measured_writes: usize) -> Varian
                 let before_us = engine.device().clock().now_us();
                 let _ = engine.read(lpn);
                 read_latencies.push(engine.device().clock().now_us() - before_us);
+            }
+            WorkloadOp::Idle(ticks) => {
+                for _ in 0..ticks {
+                    engine.idle_tick();
+                }
             }
         }
     }

@@ -88,6 +88,11 @@ pub const ALL: &[Experiment] = &[
         run: merge_latency::run,
     },
     Experiment {
+        slug: "fuzz",
+        what: "feedback-driven fault/crash fuzzing campaign; writes minimized failures to fuzz/corpus/",
+        run: crate::fuzz::run,
+    },
+    Experiment {
         slug: "recovery",
         what: "empirical GeckoRec cost vs model",
         run: recovery_exp::run,

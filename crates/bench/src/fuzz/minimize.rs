@@ -1,0 +1,107 @@
+//! Failing-scenario minimization: shrink a counterexample before it is
+//! committed to `fuzz/corpus/`, so regression entries stay readable.
+//!
+//! Classic ddmin-style reduction, specialised to scenarios: repeatedly try
+//! to (a) drop contiguous chunks of trace ops at coarse-to-fine
+//! granularity, (b) drop individual faults, and (c) clear the crash point —
+//! keeping an edit only if the scenario *still fails*. Deterministic: the
+//! candidate order is fixed, and replay itself is deterministic.
+
+use super::scenario::Scenario;
+use ftl_workloads::Trace;
+
+/// Minimize `sc` under `still_fails` (true ⇔ the scenario reproduces the
+/// failure). Returns the smallest failing scenario found within the step
+/// budget; `sc` itself must fail on entry.
+pub fn minimize(sc: &Scenario, mut still_fails: impl FnMut(&Scenario) -> bool) -> Scenario {
+    let mut best = sc.clone();
+    let mut budget = 400usize; // replay invocations, not wall-clock
+                               // Drop trace chunks, halving the chunk size each pass.
+    let mut chunk = (best.op_count() / 2).max(1);
+    while chunk >= 1 && budget > 0 {
+        let mut start = 0;
+        let mut shrunk = false;
+        while start < best.op_count() && budget > 0 {
+            let end = (start + chunk).min(best.op_count());
+            let mut cand = best.clone();
+            let mut ops = cand.trace.ops().to_vec();
+            ops.drain(start..end);
+            cand.trace = Trace::from_ops(ops);
+            // Crash points index ops: clamp into the shorter trace.
+            if let Some(at) = cand.crash_after {
+                if at >= cand.op_count() {
+                    cand.crash_after = cand.op_count().checked_sub(1);
+                }
+            }
+            budget -= 1;
+            if still_fails(&cand) {
+                best = cand;
+                shrunk = true; // retry same offset at same granularity
+            } else {
+                start = end;
+            }
+        }
+        if !shrunk {
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+    }
+    // Drop faults one at a time.
+    let mut i = 0;
+    while i < best.write_faults.len() && budget > 0 {
+        let mut cand = best.clone();
+        cand.write_faults.remove(i);
+        budget -= 1;
+        if still_fails(&cand) {
+            best = cand;
+        } else {
+            i += 1;
+        }
+    }
+    let mut i = 0;
+    while i < best.erase_faults.len() && budget > 0 {
+        let mut cand = best.clone();
+        cand.erase_faults.remove(i);
+        budget -= 1;
+        if still_fails(&cand) {
+            best = cand;
+        } else {
+            i += 1;
+        }
+    }
+    // Clear the crash point if the failure does not need it.
+    if best.crash_after.is_some() && budget > 0 {
+        let mut cand = best.clone();
+        cand.crash_after = None;
+        if still_fails(&cand) {
+            best = cand;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flash_sim::Lpn;
+    use ftl_workloads::WorkloadOp;
+
+    #[test]
+    fn minimizes_to_the_single_culprit_op() {
+        // Synthetic failure: any scenario containing a write to L7 "fails".
+        let mut ops = vec![WorkloadOp::Write(Lpn(1)); 200];
+        ops[137] = WorkloadOp::Write(Lpn(7));
+        let mut sc = Scenario::from_trace(Trace::from_ops(ops));
+        sc.crash_after = Some(190);
+        sc.write_faults.push((5, flash_sim::WriteFault::TornData));
+        let small = minimize(&sc, |c| {
+            c.trace.iter().any(|o| o == WorkloadOp::Write(Lpn(7)))
+        });
+        assert_eq!(small.op_count(), 1);
+        assert_eq!(small.trace.ops()[0], WorkloadOp::Write(Lpn(7)));
+        assert!(small.write_faults.is_empty());
+        assert!(small.crash_after.is_none());
+    }
+}

@@ -1,0 +1,294 @@
+//! Deterministic scenario execution with an acknowledged-write oracle.
+//!
+//! Replay drives a [`Scenario`] against a real GeckoFTL engine on the tiny
+//! simulation geometry, delivering the scenario's device faults and crash
+//! points, and checks the robustness contract after every recovery and at
+//! the end of the run:
+//!
+//! - every **acknowledged** write (the `write()` call returned before any
+//!   crash) must read back its exact version;
+//! - the one operation in flight at a mid-op power cut is *unacknowledged*:
+//!   its logical page may read back either the old or the new value, and
+//!   the interrupted write is re-issued after recovery (what a storage
+//!   stack's request retry does);
+//! - after the engine quiesces, the byte-level translation/validity state
+//!   must pass [`crate::fuzz::oracle::audit_state`].
+//!
+//! The returned [`Fitness`] carries the worst-case signals the fuzzer
+//! maximizes: max write latency, write amplification, recovery cost and
+//! retired (permanently lost) blocks.
+
+use super::oracle::audit_state;
+use super::scenario::Scenario;
+use crate::fuzz::corpus_dir;
+use flash_sim::{FaultPlan, FaultStats, FlashDevice, Geometry, Lpn};
+use ftl_workloads::WorkloadOp;
+use geckoftl_core::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
+use geckoftl_core::gecko::{GeckoConfig, LogGecko};
+use geckoftl_core::recovery::gecko_recover;
+use std::collections::BTreeMap;
+
+/// Worst-case signals of one replay, used as fuzzing feedback.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Fitness {
+    /// Slowest single application write, in simulated µs.
+    pub max_write_us: f64,
+    /// Total write amplification over the run (δ = 10 read weighting).
+    pub wa: f64,
+    /// Simulated recovery time, in µs (0 when the run never crashed).
+    pub recovery_us: f64,
+    /// Blocks permanently retired by erase failures.
+    pub retired_blocks: usize,
+}
+
+/// Result of replaying one scenario.
+#[derive(Clone, Debug)]
+pub struct Outcome {
+    /// Whether every oracle check passed.
+    pub ok: bool,
+    /// First violated invariant, if any.
+    pub failure: Option<String>,
+    /// Worst-case feedback signals.
+    pub fitness: Fitness,
+    /// Whether a crash (boundary or mid-op) was exercised.
+    pub crashed: bool,
+    /// Faults the device actually delivered.
+    pub faults: FaultStats,
+}
+
+impl Outcome {
+    fn fail(msg: String, fitness: Fitness, crashed: bool, faults: FaultStats) -> Self {
+        Outcome {
+            ok: false,
+            failure: Some(msg),
+            fitness,
+            crashed,
+            faults,
+        }
+    }
+}
+
+fn engine_for(sc: &Scenario) -> FtlEngine {
+    let geo = Geometry::tiny();
+    let cfg = FtlConfig {
+        // Clamp into what the tiny geometry's over-provisioning allows
+        // (cache_entries must stay below half the spare pages).
+        cache_entries: sc.cache_entries.clamp(16, 128),
+        gc_free_threshold: 8,
+        gc_policy: GcPolicy::MetadataAware,
+        recovery: RecoveryPolicy::CheckpointDeferred,
+        checkpoint_period: None,
+    };
+    let gecko = LogGecko::new(
+        geo,
+        GeckoConfig {
+            page_header_bytes: geo.page_bytes - 64, // force real flush/merge activity
+            ..GeckoConfig::paper_default(&geo)
+        },
+    );
+    FtlEngine::format(geo, cfg, ValidityBackend::Gecko(gecko))
+}
+
+fn recover_engine(
+    mut dev: FlashDevice,
+    cfg: FtlConfig,
+    gecko_cfg: GeckoConfig,
+) -> (FtlEngine, f64) {
+    // Recovery and post-crash execution run fault-free: the plan's faults
+    // target the pre-crash history only (crash images already carry an
+    // empty plan; boundary crashes clear it here).
+    dev.set_fault_plan(FaultPlan::default());
+    let (engine, report) = gecko_recover(dev, cfg, gecko_cfg);
+    (engine, report.total_secs() * 1e6)
+}
+
+/// Verify every acknowledged write against the recovered engine, treating
+/// `inflight` (the op interrupted mid-flight, if any) as allowed to hold
+/// either its old or its new value.
+fn verify_recovered(
+    engine: &mut FtlEngine,
+    oracle: &BTreeMap<u32, u64>,
+    inflight: Option<(Lpn, u64)>,
+) -> Result<(), String> {
+    for (&l, &want) in oracle {
+        if inflight.is_some_and(|(il, _)| il.0 == l) {
+            continue;
+        }
+        let got = engine.read(Lpn(l));
+        if got != Some(want) {
+            return Err(format!(
+                "post-recovery read of L{l}: got {got:?}, want Some({want})"
+            ));
+        }
+    }
+    if let Some((lpn, new_version)) = inflight {
+        let old = oracle.get(&lpn.0).copied();
+        let got = engine.read(lpn);
+        if got != old && got != Some(new_version) {
+            return Err(format!(
+                "in-flight L{} must read old ({old:?}) or new (Some({new_version})), got {got:?}",
+                lpn.0
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Replay one scenario end-to-end. Deterministic: same scenario, same
+/// outcome, bit for bit.
+pub fn replay(sc: &Scenario) -> Outcome {
+    let mut engine = engine_for(sc);
+    let logical = engine.geometry().logical_pages() as u32;
+    let cfg = engine.config();
+    let gecko_cfg = engine.backend().gecko().expect("gecko backend").config();
+    engine.with_raw_parts(|dev, _| dev.set_fault_plan(sc.fault_plan()));
+    let start = engine.device().stats().snapshot();
+
+    let mut oracle: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut version = 0u64;
+    let mut fitness = Fitness::default();
+    let mut crashed = false;
+    let mut faults = FaultStats::default();
+
+    for (i, op) in sc.trace.iter().enumerate() {
+        // Scheduled power cut at this op boundary.
+        if !crashed && sc.crash_after == Some(i) {
+            crashed = true;
+            faults = engine.device().fault_stats();
+            let dev = engine.crash();
+            let (rec, rec_us) = recover_engine(dev, cfg, gecko_cfg);
+            engine = rec;
+            fitness.recovery_us = rec_us;
+            if let Err(e) = verify_recovered(&mut engine, &oracle, None) {
+                return Outcome::fail(
+                    format!("boundary crash before op {i}: {e}"),
+                    fitness,
+                    crashed,
+                    faults,
+                );
+            }
+        }
+        // Execute the op on the live engine.
+        let mut this_write: Option<(Lpn, u64)> = None;
+        match op {
+            WorkloadOp::Write(l) => {
+                let lpn = Lpn(l.0 % logical);
+                version += 1;
+                let before_us = engine.device().clock().now_us();
+                engine.write(lpn, version);
+                let us = engine.device().clock().now_us() - before_us;
+                fitness.max_write_us = fitness.max_write_us.max(us);
+                this_write = Some((lpn, version));
+            }
+            WorkloadOp::Read(l) => {
+                let lpn = Lpn(l.0 % logical);
+                let got = engine.read(lpn);
+                let want = oracle.get(&lpn.0).copied();
+                if got != want {
+                    return Outcome::fail(
+                        format!("op {i}: read L{} got {got:?}, want {want:?}", lpn.0),
+                        fitness,
+                        crashed,
+                        engine.device().fault_stats(),
+                    );
+                }
+            }
+            WorkloadOp::Idle(ticks) => {
+                for _ in 0..ticks {
+                    engine.idle_tick();
+                }
+            }
+        }
+        // A torn-write or mid-erase fault fired during this op: the live
+        // engine's history past the fault never happened. Abandon it and
+        // recover from the crash image. This op is unacknowledged.
+        let image = engine.with_raw_parts(|dev, _| dev.take_crash_image());
+        if let Some(image) = image {
+            crashed = true;
+            faults = engine.device().fault_stats();
+            drop(engine);
+            let (rec, rec_us) = recover_engine(image, cfg, gecko_cfg);
+            engine = rec;
+            fitness.recovery_us = fitness.recovery_us.max(rec_us);
+            if let Err(e) = verify_recovered(&mut engine, &oracle, this_write) {
+                return Outcome::fail(
+                    format!("crash image at op {i}: {e}"),
+                    fitness,
+                    crashed,
+                    faults,
+                );
+            }
+            // Re-issue the interrupted write, as a retrying host would.
+            if let Some((lpn, v)) = this_write {
+                engine.write(lpn, v);
+            }
+        }
+        if let Some((lpn, v)) = this_write {
+            oracle.insert(lpn.0, v); // acknowledged (or re-issued) now
+        }
+    }
+
+    // Quiesce, then run the byte-level state audit and the final read-back.
+    engine.shutdown_clean();
+    if !crashed {
+        faults = engine.device().fault_stats();
+    }
+    let delta = engine.device().stats().since(&start);
+    fitness.wa = delta.wa_breakdown(10.0).total();
+    fitness.retired_blocks = engine.block_manager().retired_blocks();
+    for (&l, &want) in &oracle {
+        let got = engine.read(Lpn(l));
+        if got != Some(want) {
+            return Outcome::fail(
+                format!("final read of L{l}: got {got:?}, want Some({want})"),
+                fitness,
+                crashed,
+                faults,
+            );
+        }
+    }
+    if !audit_state(&mut engine) {
+        return Outcome::fail(
+            "translation/validity state audit failed".into(),
+            fitness,
+            crashed,
+            faults,
+        );
+    }
+    Outcome {
+        ok: true,
+        failure: None,
+        fitness,
+        crashed,
+        faults,
+    }
+}
+
+/// Replay every committed corpus scenario; returns `(file name, outcome)`
+/// pairs. Used by the corpus regression test and the `fuzz` experiment.
+pub fn replay_corpus() -> Vec<(String, Outcome)> {
+    let dir = corpus_dir();
+    let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
+        Ok(rd) => rd
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "scenario"))
+            .collect(),
+        Err(_) => Vec::new(),
+    };
+    entries.sort();
+    entries
+        .into_iter()
+        .map(|path| {
+            let name = path
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let text = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read corpus entry {path:?}: {e}"));
+            let sc = Scenario::from_text(&text)
+                .unwrap_or_else(|e| panic!("parse corpus entry {path:?}: {e}"));
+            (name, replay(&sc))
+        })
+        .collect()
+}

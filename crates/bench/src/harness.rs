@@ -35,6 +35,11 @@ pub fn drive(engine: &mut FtlEngine, gen: impl Iterator<Item = WorkloadOp>, n: u
             WorkloadOp::Read(lpn) => {
                 let _ = engine.read(lpn);
             }
+            WorkloadOp::Idle(ticks) => {
+                for _ in 0..ticks {
+                    engine.idle_tick();
+                }
+            }
         }
     }
 }

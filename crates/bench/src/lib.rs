@@ -14,6 +14,7 @@
 //! (as in the paper), write-amplification comparisons from simulation.
 
 pub mod experiments;
+pub mod fuzz;
 pub mod harness;
 pub mod report;
 

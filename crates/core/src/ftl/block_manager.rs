@@ -14,7 +14,9 @@
 //! [`BlockManager::page_obsolete`].
 
 use crate::validity::MetaSink;
-use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, MetaKind, PageData, Ppn, SpareInfo};
+use flash_sim::{
+    BlockId, FlashDevice, FlashError, Geometry, IoPurpose, MetaKind, PageData, Ppn, SpareInfo,
+};
 use std::collections::{HashSet, VecDeque};
 
 /// The block groups of Figure 8. PVB and PVL blocks take the "Gecko blocks"
@@ -93,6 +95,12 @@ pub struct BlockManager {
     /// recently updated translation pages, so the engine protects their
     /// blocks until the next Gecko buffer flush.
     protected: HashSet<BlockId>,
+    /// Blocks permanently taken out of service after an erase failure (or
+    /// wear-out). A retired block stays `InUse` forever — it can never be
+    /// erased, so it must never reach the free pool — and is excluded from
+    /// victim selection so GC does not livelock re-picking a 0-valid block
+    /// it cannot reclaim.
+    retired: Vec<bool>,
 }
 
 impl BlockManager {
@@ -106,11 +114,19 @@ impl BlockManager {
             bvc: vec![0; geo.blocks as usize],
             erase_empty_metadata: true,
             protected: HashSet::new(),
+            retired: vec![false; geo.blocks as usize],
         }
     }
 
     /// Rebuild a manager from recovered per-block state (used by GeckoRec).
+    /// Consults the device's persistent bad-block table so that bad blocks
+    /// never re-enter the free pool (an empty bad block scans as `Free` —
+    /// a pre-crash program failure persists nothing — but can never be
+    /// programmed again). Bad *in-use* blocks are not pre-retired: their
+    /// valid pages stay readable, GC drains them like any bad block and
+    /// retires them when the erase fails, exactly as on the live path.
     pub fn from_recovered(
+        dev: &FlashDevice,
         geo: Geometry,
         state: Vec<BlockState>,
         bvc: Vec<u32>,
@@ -120,7 +136,7 @@ impl BlockManager {
         assert_eq!(bvc.len(), geo.blocks as usize);
         let free = geo
             .iter_blocks()
-            .filter(|b| state[b.0 as usize] == BlockState::Free)
+            .filter(|b| state[b.0 as usize] == BlockState::Free && !dev.is_bad(*b))
             .collect();
         BlockManager {
             geo,
@@ -130,6 +146,7 @@ impl BlockManager {
             bvc,
             erase_empty_metadata,
             protected: HashSet::new(),
+            retired: vec![false; geo.blocks as usize],
         }
     }
 
@@ -204,6 +221,7 @@ impl BlockManager {
             .pop_front()
             .expect("free pool exhausted — GC threshold must keep a reserve");
         debug_assert!(dev.written_pages(b) == 0, "free block must be erased");
+        debug_assert!(!dev.is_bad(b), "free pool must not contain bad blocks");
         self.state[b.0 as usize] = BlockState::InUse(group);
         self.active[slot] = Some(b);
         b
@@ -218,6 +236,11 @@ impl BlockManager {
 
     /// Append a page to the active block of `group`. The caller guarantees a
     /// free-block reserve via the GC trigger threshold.
+    ///
+    /// A program failure (the active block went bad mid-write) is handled
+    /// here: the block is abandoned as append target and the write retries
+    /// on a fresh free block. The bad block keeps its already-written valid
+    /// pages; GC drains it later and retires it when its erase fails.
     pub fn append(
         &mut self,
         dev: &mut FlashDevice,
@@ -226,12 +249,19 @@ impl BlockManager {
         info: SpareInfo,
         purpose: IoPurpose,
     ) -> Ppn {
-        let block = self.ensure_active(dev, group);
-        let ppn = dev
-            .write_page(block, data, info, purpose)
-            .expect("active block has free pages");
-        self.bvc[block.0 as usize] += 1;
-        ppn
+        loop {
+            let block = self.ensure_active(dev, group);
+            match dev.write_page(block, data.clone(), info, purpose) {
+                Ok(ppn) => {
+                    self.bvc[block.0 as usize] += 1;
+                    return ppn;
+                }
+                Err(FlashError::ProgramFailed(_)) => {
+                    self.active[group.index()] = None;
+                }
+                Err(e) => panic!("active block has free pages: {e}"),
+            }
+        }
     }
 
     /// Report that a written page no longer holds live data. Decrements BVC
@@ -267,14 +297,47 @@ impl BlockManager {
         }
     }
 
-    /// Erase a block and return it to the free pool.
-    pub fn erase_and_free(&mut self, dev: &mut FlashDevice, block: BlockId, purpose: IoPurpose) {
+    /// Erase a block and return it to the free pool. If the erase fails
+    /// (bad block, or past its wear budget) the block is *retired* instead:
+    /// it stays `InUse` forever, drops out of victim selection, and never
+    /// reaches the free pool. The caller has already migrated any valid
+    /// pages, so nothing is lost. Returns `false` on retirement: the block
+    /// keeps its stale contents, so a caller tracking per-page validity
+    /// must report those pages invalid (an erase marker issued in
+    /// anticipation of this erase claims a *clean* block — the opposite of
+    /// what a retired block holds).
+    pub fn erase_and_free(
+        &mut self,
+        dev: &mut FlashDevice,
+        block: BlockId,
+        purpose: IoPurpose,
+    ) -> bool {
         debug_assert!(!self.is_active(block), "cannot erase an active block");
-        dev.erase_block(block, purpose)
-            .expect("erase of in-range block");
-        self.state[block.0 as usize] = BlockState::Free;
-        self.bvc[block.0 as usize] = 0;
-        self.free.push_back(block);
+        let i = block.0 as usize;
+        match dev.erase_block(block, purpose) {
+            Ok(()) => {
+                self.state[i] = BlockState::Free;
+                self.bvc[i] = 0;
+                self.free.push_back(block);
+                true
+            }
+            Err(FlashError::EraseFailed(_) | FlashError::BlockWornOut(_)) => {
+                self.retired[i] = true;
+                self.bvc[i] = 0;
+                false
+            }
+            Err(e) => panic!("erase of in-range block: {e}"),
+        }
+    }
+
+    /// Whether a block has been permanently retired after an erase failure.
+    pub fn is_retired(&self, block: BlockId) -> bool {
+        self.retired[block.0 as usize]
+    }
+
+    /// Number of permanently retired blocks (lost device capacity).
+    pub fn retired_blocks(&self) -> usize {
+        self.retired.iter().filter(|&&r| r).count()
     }
 
     /// GC victim candidates among `eligible` groups: full, non-active,
@@ -320,9 +383,13 @@ impl BlockManager {
         let BlockState::InUse(group) = self.state[block.0 as usize] else {
             return false;
         };
+        // A bad block counts as sealed even when not full: its write pointer
+        // will never advance again, and GC is the only way to drain its
+        // remaining valid pages. Retired blocks are out for good.
         eligible(group)
+            && !self.retired[block.0 as usize]
             && !self.is_active(block)
-            && dev.block_is_full(block)
+            && (dev.block_is_full(block) || dev.is_bad(block))
             && !self.is_protected(block)
             && self.bvc[block.0 as usize] < self.geo.pages_per_block
     }
@@ -579,6 +646,69 @@ mod tests {
             all,
             vec![BlockId(1), BlockId(0), BlockId(3), BlockId(4), BlockId(5)]
         );
+    }
+
+    #[test]
+    fn append_retries_on_program_failure() {
+        let (mut dev, mut bm) = setup();
+        let (d, s) = user_page(1);
+        let p1 = bm.append(&mut dev, BlockGroup::User, d, s, IoPurpose::UserWrite);
+        let b1 = dev.geometry().block_of(p1);
+        // Fail the next program attempt: the active block goes bad and the
+        // write must land on a fresh block, invisibly to the caller.
+        dev.set_fault_plan(
+            flash_sim::FaultPlan::new()
+                .on_write(dev.write_attempts(), flash_sim::WriteFault::ProgramFail),
+        );
+        let (d, s) = user_page(2);
+        let p2 = bm.append(&mut dev, BlockGroup::User, d, s, IoPurpose::UserWrite);
+        let b2 = dev.geometry().block_of(p2);
+        assert_ne!(b1, b2, "retry must move to a fresh block");
+        assert!(dev.is_bad(b1));
+        assert_eq!(bm.valid_pages(b1), 1, "pre-fault page stays valid");
+        assert_eq!(bm.valid_pages(b2), 1);
+        // The bad half-written block counts as sealed: GC can drain it.
+        assert!(bm.is_victim_eligible(&dev, b1, |g| g == BlockGroup::User));
+    }
+
+    #[test]
+    fn failed_erase_retires_block() {
+        let (mut dev, mut bm) = setup();
+        let per_block = dev.geometry().pages_per_block;
+        let mut pages = Vec::new();
+        for i in 0..=per_block {
+            let (d, s) = user_page(i);
+            pages.push(bm.append(&mut dev, BlockGroup::User, d, s, IoPurpose::UserWrite));
+        }
+        let first = dev.geometry().block_of(pages[0]);
+        for p in &pages[..per_block as usize] {
+            bm.page_obsolete(&mut dev, *p);
+        }
+        let free_before = bm.free_blocks();
+        dev.set_fault_plan(
+            flash_sim::FaultPlan::new().on_erase(dev.erase_attempts(), flash_sim::EraseFault::Fail),
+        );
+        bm.erase_and_free(&mut dev, first, IoPurpose::GcMigrateUser);
+        assert!(bm.is_retired(first));
+        assert_eq!(bm.retired_blocks(), 1);
+        assert_eq!(bm.free_blocks(), free_before, "retired ≠ freed");
+        assert_eq!(bm.valid_pages(first), 0);
+        assert_eq!(bm.group_of(first), Some(BlockGroup::User), "stays InUse");
+        // Never a victim again: no GC livelock on the unreclaimable block.
+        assert!(!bm.is_victim_eligible(&dev, first, |_| true));
+        assert_eq!(bm.pick_victim(&dev, |_| true), None);
+    }
+
+    #[test]
+    fn recovered_free_pool_excludes_bad_blocks() {
+        let (mut dev, bm) = setup();
+        drop(bm);
+        dev.mark_bad(BlockId(3));
+        let geo = dev.geometry();
+        let state = vec![BlockState::Free; geo.blocks as usize];
+        let bvc = vec![0u32; geo.blocks as usize];
+        let bm = BlockManager::from_recovered(&dev, geo, state, bvc, true);
+        assert_eq!(bm.free_blocks(), geo.blocks as usize - 1);
     }
 
     #[test]

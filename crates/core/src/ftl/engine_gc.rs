@@ -4,7 +4,12 @@
 use super::block_manager::BlockGroup;
 use super::{FtlEngine, GcPolicy};
 use crate::cache::CacheEntry;
-use flash_sim::{BlockId, IoPurpose, PageData, SpareInfo};
+use flash_sim::{BlockId, IoPurpose, PageData, PageOffset, Ppn, SpareInfo};
+
+/// How many extra valid pages a planned (prefetched) burst victim may carry
+/// over the current greedy-best block before the plan is declared stale and
+/// dropped. See the re-validation in [`FtlEngine::collect_once`].
+const GC_PLAN_VALID_MARGIN: u32 = 4;
 
 fn paranoid() -> bool {
     // Read the environment once: this guard sits inside per-page GC loops.
@@ -176,15 +181,21 @@ impl FtlEngine {
                 }
                 self.counters.gc_operations += 1;
                 self.gc_prefetch.remove(&victim);
-                if self.bm.group_of(victim) == Some(BlockGroup::User) {
+                let is_user = self.bm.group_of(victim) == Some(BlockGroup::User);
+                if is_user {
                     // Erase markers still need to supersede older validity
                     // info about the block.
                     self.backend
                         .store()
                         .note_erase(&mut self.dev, &mut self.bm, victim);
                 }
-                self.bm
-                    .erase_and_free(&mut self.dev, victim, IoPurpose::GcMigrateUser);
+                if !self
+                    .bm
+                    .erase_and_free(&mut self.dev, victim, IoPurpose::GcMigrateUser)
+                    && is_user
+                {
+                    self.report_retired_block_stale(victim);
+                }
                 self.forget_invalidated_in(victim);
                 return true;
             }
@@ -209,6 +220,25 @@ impl FtlEngine {
                         .bm
                         .is_victim_eligible(&self.dev, planned, |g| g == BlockGroup::User)
                 {
+                    // Margin guard: the plan was ranked from a snapshot, and
+                    // invalidations since then can make a non-planned block
+                    // strictly cheaper. A bounded deviation is the price of
+                    // consuming the prefetched bitmaps, but if the planned
+                    // victim now costs more than the current greedy choice
+                    // by more than the margin, the snapshot is stale enough
+                    // that following it would do real extra migration work:
+                    // drop the whole plan and re-rank.
+                    let best_valid = self
+                        .bm
+                        .pick_victim(&self.dev, |g| g == BlockGroup::User)
+                        .map_or(u32::MAX, |b| self.bm.valid_pages(b));
+                    if self.bm.valid_pages(planned)
+                        > best_valid.saturating_add(GC_PLAN_VALID_MARGIN)
+                    {
+                        self.gc_plan.clear();
+                        self.gc_prefetch.clear();
+                        break;
+                    }
                     self.counters.gc_operations += 1;
                     self.collect_user_block(planned);
                     return true;
@@ -356,14 +386,35 @@ impl FtlEngine {
         self.backend
             .store()
             .note_erase(&mut self.dev, &mut self.bm, victim);
-        self.bm
-            .erase_and_free(&mut self.dev, victim, IoPurpose::GcMigrateUser);
+        if !self
+            .bm
+            .erase_and_free(&mut self.dev, victim, IoPurpose::GcMigrateUser)
+        {
+            self.report_retired_block_stale(victim);
+        }
         // `gc_invalidated` is NOT wholesale-cleared here: when the burst
         // runs on prefetched bitmaps, invalidations since the batch
         // snapshot must stay visible to the remaining victims. The set is
         // reset at the next snapshot point (cold query or batch prefetch);
         // only the erased block's own entries are dropped, below.
         self.forget_invalidated_in(victim);
+    }
+
+    /// A user block's erase failed and it was retired with its stale
+    /// contents intact — but the erase marker just issued for it claims a
+    /// clean block. Override the marker: report every written page invalid
+    /// (the reports are newer than the marker, so they supersede it). The
+    /// block never re-enters the free pool, so this is the final word on
+    /// its validity.
+    fn report_retired_block_stale(&mut self, block: BlockId) {
+        let geo = self.dev.geometry();
+        let written = self.dev.written_pages(block);
+        let ppns: Vec<Ppn> = (0..written)
+            .map(|off| geo.ppn(block, PageOffset(off)))
+            .collect();
+        self.backend
+            .store()
+            .mark_invalid_batch(&mut self.dev, &mut self.bm, &ppns);
     }
 
     /// Drop `gc_invalidated` entries pointing into a just-erased block.

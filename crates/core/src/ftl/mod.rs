@@ -388,15 +388,10 @@ impl FtlEngine {
     }
 
     /// Advance pending incremental Gecko merge work by one bounded step,
-    /// charged to the current operation. No-op for non-Gecko backends and
-    /// under [`crate::gecko::GeckoConfig::sync_merge`].
+    /// charged to the current operation. The write path's piggybacked slice
+    /// is the same unit of work as an idle slice; only the occasion differs.
     fn pump_merge_slice(&mut self) {
-        if let ValidityBackend::Gecko(g) = &mut self.backend {
-            let cfg = g.config();
-            if !cfg.sync_merge {
-                g.pump_merges(&mut self.dev, &mut self.bm, cfg.merge_step_pages as u64);
-            }
-        }
+        self.idle_tick();
     }
 
     /// Donate one idle-time slice to background maintenance: advances

@@ -613,6 +613,16 @@ impl LogGecko {
         }
         self.stats.flushes += 1;
         let v = self.buffer_capacity() as usize;
+        // The watermark in effect before this flush began. Until the chunk
+        // that *empties* the buffer is sealed, this is all any run written
+        // here may certify: earlier chunks land on flash while the buffer
+        // tail is still RAM-only, and a crash in that window must leave the
+        // recovery threshold low enough for steps 4a/4b to re-derive the
+        // tail (re-deriving the already-durable chunks is idempotent).
+        // Advancing `last_flush_seq` per chunk — as every run once did by
+        // stamping its own creation time — certified the unwritten tail as
+        // durable and lost it for good.
+        let prior_watermark = self.last_flush_seq;
         // Reused scratch buffers: steady-state flushing allocates only the
         // page payloads the simulated flash pages must own.
         let mut chunk = std::mem::take(&mut self.scratch.chunk);
@@ -627,6 +637,11 @@ impl LogGecko {
                     .iter()
                     .map(|k| self.buffer.remove(k).expect("key just listed")),
             );
+            // Only the final chunk makes every report buffered before its
+            // creation durable; it alone stamps (and advances to) its own
+            // creation time. Nothing inserts into the buffer while a chunk
+            // is written, so emptiness here is decisive.
+            let is_final = self.buffer.is_empty();
             // A flush run is at most one page: write it atomically.
             let mut writer = scheduler::RunWriter::new(
                 &self.cfg,
@@ -635,7 +650,8 @@ impl LogGecko {
                 std::mem::take(&mut chunk),
                 Vec::new(),
                 None,
-                None, // a flush run's watermark is its own creation time
+                None,
+                (!is_final).then_some(prior_watermark),
                 0,
                 IoPurpose::ValidityUpdate,
             );
@@ -646,7 +662,9 @@ impl LogGecko {
                 run.meta.level, 0,
                 "a single-page flush run belongs at level 0"
             );
-            self.last_flush_seq = run.meta.created_seq;
+            if is_final {
+                self.last_flush_seq = run.meta.created_seq;
+            }
             self.levels[0].push(run);
             self.schedule_merges();
             if self.cfg.sync_merge {

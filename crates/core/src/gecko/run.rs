@@ -33,26 +33,47 @@ pub struct RunMeta {
     pub level: u32,
     /// Device sequence number at creation; recovery uses it to order runs.
     pub created_seq: u64,
-    /// The buffer-flush watermark at the moment this run was written: for
-    /// buffer-flush runs, their own `created_seq`; for merge outputs, the
-    /// owning tree's `last_flush_seq` when the output was produced.
-    /// Recovery derives the last buffer-flush time (Appendix C.2) as the
-    /// max watermark over live runs. With incremental merging this must be
-    /// persisted separately from `created_seq`: a merge output is written
-    /// *after* the flush that scheduled it — possibly after further erases
-    /// and invalidations entered the RAM buffer — so using its
-    /// `created_seq` as the flush time would make recovery's step-4a/4b/6
-    /// windows skip reports that lived only in the lost buffer.
+    /// The buffer-flush watermark this run certifies: recovery may assume
+    /// that every validity report buffered before this sequence number is
+    /// durable in some recoverable run. Recovery derives the last
+    /// buffer-flush time (Appendix C.2) as the max watermark over live
+    /// runs, and replays only reports newer than it (steps 4a/4b).
+    ///
+    /// The stamp must therefore be conservative about *in-flight* state:
+    ///
+    /// * A buffer flush emits its chunks as separate single-page runs, and
+    ///   only the **final** chunk — the one that empties the buffer — may
+    ///   carry its own `created_seq`. Earlier chunks carry the watermark
+    ///   from *before* the flush began: when one of them is on flash but
+    ///   the buffer tail is not yet written, a crash must roll the
+    ///   threshold back far enough for recovery to re-derive the tail.
+    /// * A merge output carries the owning tree's `last_flush_seq` at fold
+    ///   time. With incremental merging the output is sealed long after
+    ///   the flush that scheduled it — possibly after further erases and
+    ///   invalidations entered the RAM buffer — so its own `created_seq`
+    ///   would overclaim.
     pub flush_seq: u64,
     /// IDs of the runs this run replaced (empty for buffer flushes).
+    /// Recovery treats every run named here as dead: its entries live on
+    /// in this (sealed, hence durable) output.
     pub merged_from: Vec<RunId>,
     /// Creation seq of this run's oldest *transitive* merge input (its own
-    /// `created_seq` for buffer flushes). Every run created in
-    /// `[supersedes_since, created_seq)` has been folded into this run, so
-    /// recovery can identify merged-away runs even when intermediate
-    /// superseders have already been erased from flash (a `merged_from`
-    /// chain alone breaks in that case).
+    /// `created_seq` for buffer flushes). Together with
+    /// [`RunMeta::supersedes_upto`] it bounds the runs folded into this
+    /// one, so recovery can identify merged-away leftovers even when
+    /// intermediate superseders have already been erased from flash (a
+    /// `merged_from` chain alone breaks in that case).
     pub supersedes_since: u64,
+    /// Creation seq of this run's newest *direct* merge input (its own
+    /// `created_seq` for buffer flushes). Every transitive input was
+    /// created inside `[supersedes_since, supersedes_upto]`; a run created
+    /// *after* `supersedes_upto` cannot have been folded into this one.
+    /// The closed upper bound matters under incremental merging: buffer
+    /// flushes that happen while a merge is in flight create live level-0
+    /// runs inside `[supersedes_since, created_seq)`, and an upper bound of
+    /// `created_seq` would make recovery discard them — losing every
+    /// report they carry.
+    pub supersedes_upto: u64,
 }
 
 /// One run-directory entry: a page of the run and the key range it holds.
@@ -178,6 +199,7 @@ mod tests {
                 flush_seq: 1,
                 merged_from: vec![],
                 supersedes_since: 1,
+                supersedes_upto: 1,
             },
             pages: ranges
                 .iter()

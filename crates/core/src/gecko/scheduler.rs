@@ -137,9 +137,12 @@ impl RunWriter {
     /// participant's level (which would break the data-age ordering queries
     /// rely on when collisions shrink the output).
     /// `flush_seq` is the buffer-flush watermark to persist in the
-    /// preamble: `None` marks a buffer-flush run (watermark = its own
-    /// creation time); merge outputs pass the owning tree's current
-    /// `last_flush_seq` (see [`RunMeta::flush_seq`]).
+    /// preamble: `None` stamps the run's own creation time (a buffer
+    /// flush's **final** chunk); non-final chunks and merge outputs pass
+    /// the watermark in effect before them (see [`RunMeta::flush_seq`]).
+    /// `supersedes_since`/`supersedes_upto` bound the direct merge inputs'
+    /// creation times; `None` (buffer flushes) stamps the run's own
+    /// creation time, giving the empty supersede interval.
     #[allow(clippy::too_many_arguments)] // two call sites (flush, merge); a params struct would obscure the layout inputs
     pub(crate) fn new(
         cfg: &GeckoConfig,
@@ -148,6 +151,7 @@ impl RunWriter {
         entries: Vec<GeckoEntry>,
         merged_from: Vec<RunId>,
         supersedes_since: Option<u64>,
+        supersedes_upto: Option<u64>,
         flush_seq: Option<u64>,
         min_level: u32,
         purpose: IoPurpose,
@@ -169,6 +173,7 @@ impl RunWriter {
             flush_seq: flush_seq.unwrap_or(created_seq),
             merged_from,
             supersedes_since: supersedes_since.unwrap_or(created_seq),
+            supersedes_upto: supersedes_upto.unwrap_or(created_seq),
         };
         // Build the run's Bloom filter while the keys are in RAM anyway.
         let filter = (cfg.bloom_bits_per_key > 0).then(|| {
@@ -403,6 +408,7 @@ impl MergeJob {
                     merged,
                     self.inputs.iter().map(|i| i.meta.id).collect(),
                     self.inputs.iter().map(|i| i.meta.supersedes_since).min(),
+                    self.inputs.iter().map(|i| i.meta.created_seq).max(),
                     Some(flush_watermark),
                     self.min_level,
                     IoPurpose::ValidityMerge,

@@ -32,7 +32,7 @@
 use crate::cache::{CacheEntry, MappingCache};
 use crate::ftl::block_manager::{BlockGroup, BlockManager, BlockState};
 use crate::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
-use crate::gecko::{GeckoConfig, GeckoPagePayload, LogGecko, Run, RunDirEntry, RunMeta};
+use crate::gecko::{GeckoConfig, GeckoPagePayload, LogGecko, Run, RunDirEntry, RunId, RunMeta};
 use crate::translation::{TranslationPagePayload, TranslationTable};
 use flash_sim::{BlockId, FlashDevice, IoPurpose, MetaKind, PageOffset, Ppn, SpareInfo};
 use std::collections::{HashMap, HashSet};
@@ -153,9 +153,21 @@ pub fn gecko_recover(
             });
             continue;
         }
-        let spare = dev
-            .read_spare(geo.first_page(b), IoPurpose::Recovery)
-            .expect("non-empty block has a written first page");
+        let Ok(spare) = dev.read_spare(geo.first_page(b), IoPurpose::Recovery) else {
+            // Torn first page (power cut mid-program on a fresh block): the
+            // block holds exactly one page — the torn one, always the
+            // globally newest write — and nothing on it was acknowledged.
+            // Quarantine-scrub it back into circulation.
+            if dev.erase_block(b, IoPurpose::Recovery).is_err() {
+                dev.mark_bad(b); // unscrubbable: retire it for good
+            }
+            bid.push(BidEntry {
+                group: None,
+                first_seq: 0,
+                written: 0,
+            });
+            continue;
+        };
         let group = match spare.info {
             SpareInfo::User { .. } => BlockGroup::User,
             SpareInfo::Translation { .. } => BlockGroup::Translation,
@@ -180,12 +192,15 @@ pub fn gecko_recover(
         }
         for off in 0..bid[b.0 as usize].written {
             let ppn = geo.ppn(b, PageOffset(off));
-            let spare = dev
-                .read_spare(ppn, IoPurpose::Recovery)
-                .expect("written page");
+            let Ok(spare) = dev.read_spare(ppn, IoPurpose::Recovery) else {
+                continue; // torn spare: the page has no identity
+            };
             let SpareInfo::Translation { tpage } = spare.info else {
                 panic!("translation block holds {:?}", spare.info)
             };
+            if !dev.is_written(ppn) {
+                continue; // torn data: never point the GMD at an unreadable page
+            }
             tpage_versions[tpage as usize].push((spare.seq, ppn));
         }
     }
@@ -325,10 +340,12 @@ pub fn gecko_recover(
             continue;
         }
         let last = geo.ppn(b, PageOffset(entry.written - 1));
-        let spare = dev
-            .read_spare(last, IoPurpose::Recovery)
-            .expect("written page");
-        user_blocks.push((spare.seq, b));
+        // A torn spare can only be the globally newest write: sort it first.
+        let newest_seq = match dev.read_spare(last, IoPurpose::Recovery) {
+            Ok(spare) => spare.seq,
+            Err(_) => u64::MAX,
+        };
+        user_blocks.push((newest_seq, b));
     }
     user_blocks.sort_unstable_by_key(|(seq, _)| std::cmp::Reverse(*seq));
     // Checkpoints bound the scan to ≈2·C spare reads. GC migrations tick the
@@ -357,9 +374,20 @@ pub fn gecko_recover(
         let written = bid[b.0 as usize].written;
         for off in (0..written).rev() {
             let ppn = geo.ppn(b, PageOffset(off));
-            let spare = dev
-                .read_spare(ppn, IoPurpose::Recovery)
-                .expect("written page");
+            let spare = match dev.read_spare(ppn, IoPurpose::Recovery) {
+                Ok(s) if dev.is_written(ppn) => s,
+                // Torn page: the in-flight user write the power cut killed.
+                // Nothing about it was acknowledged. Step 5 counted it valid
+                // (it was never reported to Gecko), so count it invalid now
+                // and recreate the lost invalidation report.
+                _ => {
+                    gecko.recover_invalidation(ppn);
+                    bvc[b.0 as usize] = bvc[b.0 as usize].saturating_sub(1);
+                    report.recovered_invalidations += 1;
+                    scanned += 1;
+                    continue;
+                }
+            };
             // The scan serves two purposes with two horizons. Dirty-entry
             // recreation needs the checkpoint-bounded window. Re-deriving
             // the buffer's *immediate* invalidation reports (the
@@ -416,13 +444,20 @@ pub fn gecko_recover(
         .push((RecoveryStep::DirtyEntries, timer.stop(&dev)));
 
     // ---- Step 8: reassemble and resume. -----------------------------------
-    let mut bm =
-        BlockManager::from_recovered(geo, state, bvc, cfg.gc_policy == GcPolicy::MetadataAware);
-    // Re-adopt each group's partially written block as its active block.
+    let mut bm = BlockManager::from_recovered(
+        &dev,
+        geo,
+        state,
+        bvc,
+        cfg.gc_policy == GcPolicy::MetadataAware,
+    );
+    // Re-adopt each group's partially written block as its active block —
+    // unless the block is bad: its write pointer will never advance again,
+    // so the group starts on a fresh block and GC drains the bad one.
     for b in geo.iter_blocks() {
         let entry = &bid[b.0 as usize];
         if let Some(group) = entry.group {
-            if entry.written > 0 && entry.written < geo.pages_per_block {
+            if entry.written > 0 && entry.written < geo.pages_per_block && !dev.is_bad(b) {
                 bm.adopt_active(b, group);
             }
         }
@@ -464,9 +499,13 @@ fn recover_runs(dev: &mut FlashDevice, bid: &[BidEntry]) -> Vec<Run> {
         }
         for off in 0..entry.written {
             let ppn = geo.ppn(b, PageOffset(off));
-            let spare = dev
-                .read_spare(ppn, IoPurpose::Recovery)
-                .expect("written page");
+            // Torn pages (lost spare or lost data) never joined a sealed
+            // run: dropping one here leaves its run without a postamble —
+            // or with a short page count — so the run is discarded as
+            // partial below, exactly the torn-postamble orphan rule.
+            let Ok(spare) = dev.read_spare(ppn, IoPurpose::Recovery) else {
+                continue;
+            };
             let SpareInfo::Meta {
                 kind: MetaKind::GeckoRun,
                 tag,
@@ -474,6 +513,9 @@ fn recover_runs(dev: &mut FlashDevice, bid: &[BidEntry]) -> Vec<Run> {
             else {
                 panic!("gecko block holds {:?}", spare.info)
             };
+            if !dev.is_written(ppn) {
+                continue;
+            }
             run_pages.entry(tag).or_default().push((spare.seq, ppn));
         }
     }
@@ -528,19 +570,45 @@ fn recover_runs(dev: &mut FlashDevice, bid: &[BidEntry]) -> Vec<Run> {
         });
     }
 
-    // Liveness: walk newest-first. Every accepted run supersedes all runs
-    // created in `[supersedes_since, created_seq)`; anything falling in an
-    // accepted run's window is a merged-away leftover. A live deeper run is
-    // always older than every transitive input of the runs above it (data
-    // age orders by level), so it falls below every window and is accepted.
+    // Liveness: walk newest-first, separating live runs from merged-away
+    // leftovers (a retired input's postamble survives until its block
+    // happens to be erased). Two complementary pieces of evidence, both
+    // persisted in the preambles:
+    //
+    // * `merged_from` — exact: every run a sealed output names as input is
+    //   dead, its entries live on in the output. A sealed run contributes
+    //   its input list whether or not it is itself still live (a dead
+    //   intermediate's inputs died before it did).
+    // * `[supersedes_since, supersedes_upto]` — transitive closure: every
+    //   *indirect* input was created inside this interval, so the interval
+    //   identifies leftovers whose direct superseder has already been
+    //   erased from flash (taking its `merged_from` list with it).
+    //
+    // The interval's upper bound is the newest direct input, NOT the
+    // output's own creation time: with incremental merging, buffer flushes
+    // land *while* a merge is in flight, and those flush runs — created
+    // after every input of the merge, so past `supersedes_upto` — are live
+    // and carry reports nothing else has. Widening the interval to
+    // `created_seq` is exactly the bug that loses them.
     candidates.sort_by_key(|c| std::cmp::Reverse(c.meta.created_seq));
-    let mut min_supersedes = u64::MAX;
+    let mut dead: HashSet<RunId> = HashSet::new();
+    let mut intervals: Vec<(u64, u64)> = Vec::new();
     let mut live: Vec<Run> = Vec::new();
     for c in candidates {
-        if c.meta.created_seq >= min_supersedes {
-            continue; // folded into an already-accepted (newer) run
+        let gone = dead.contains(&c.meta.id)
+            || intervals
+                .iter()
+                .any(|&(since, upto)| since <= c.meta.created_seq && c.meta.created_seq <= upto);
+        // Newer runs' evidence applies to older candidates only (inputs
+        // predate their output), so recording this candidate's own evidence
+        // after testing it cannot misjudge it.
+        dead.extend(c.meta.merged_from.iter().copied());
+        if c.meta.supersedes_since < c.meta.created_seq {
+            intervals.push((c.meta.supersedes_since, c.meta.supersedes_upto));
         }
-        min_supersedes = min_supersedes.min(c.meta.supersedes_since);
+        if gone {
+            continue;
+        }
         // Bloom filters are RAM-only and not persisted; recovered runs carry
         // none (queries stay correct at the paper's probe-per-run bound)
         // until merges rebuild them.

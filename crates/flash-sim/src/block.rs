@@ -74,6 +74,18 @@ impl Block {
         Ok(PageOffset(off))
     }
 
+    /// Program a page torn by a mid-write power cut: the write pointer
+    /// advances (the page is physically consumed and can never be
+    /// programmed again), but one of the data and spare areas was lost.
+    /// Only reachable through fault injection; the lost side reads back as
+    /// unwritten.
+    pub(crate) fn append_torn(&mut self, data: Option<PageData>, spare: Option<Spare>) {
+        debug_assert!(!self.is_full(), "torn write needs a free page");
+        let off = self.write_ptr as usize;
+        self.pages[off] = Page { data, spare };
+        self.write_ptr += 1;
+    }
+
     pub(crate) fn erase(&mut self, seq: u64) {
         for p in &mut self.pages {
             *p = Page::default();

@@ -2,6 +2,7 @@
 
 use crate::block::Block;
 use crate::error::{FlashError, Result};
+use crate::fault::{EraseFault, FaultPlan, FaultStats, WriteFault};
 use crate::geometry::{BlockId, Geometry, PageOffset, Ppn};
 use crate::latency::{LatencyModel, SimClock};
 use crate::page::{PageData, Spare, SpareInfo};
@@ -26,6 +27,21 @@ pub struct FlashDevice {
     /// Per-channel accumulated latency of the overlap window in flight
     /// (`None` outside a window). See [`FlashDevice::begin_overlap`].
     overlap_lanes: Option<Vec<f64>>,
+    /// Scheduled hardware faults (see [`crate::fault`]).
+    fault: FaultPlan,
+    /// Faults actually delivered so far.
+    fault_stats: FaultStats,
+    /// Lifetime program attempts (the write-fault attempt index).
+    writes_attempted: u64,
+    /// Lifetime erase attempts (the erase-fault attempt index).
+    erases_attempted: u64,
+    /// Bad-block table. Persistent like the erase counters (real firmware
+    /// keeps it in spare areas / a reserved block), so it survives a crash
+    /// and recovery can consult it without IO.
+    bad: Vec<bool>,
+    /// Snapshot captured by a torn-write or mid-erase power-cut fault; see
+    /// [`crate::fault`] for the mechanism.
+    crash_image: Option<Box<FlashDevice>>,
 }
 
 impl FlashDevice {
@@ -47,6 +63,12 @@ impl FlashDevice {
             seq: 1,
             erase_budget: None,
             overlap_lanes: None,
+            fault: FaultPlan::default(),
+            fault_stats: FaultStats::default(),
+            writes_attempted: 0,
+            erases_attempted: 0,
+            bad: vec![false; geo.blocks as usize],
+            crash_image: None,
         }
     }
 
@@ -147,6 +169,12 @@ impl FlashDevice {
 
     /// Program the next free page of `block` (sequential-write constraint).
     /// Returns the physical page number that was written.
+    ///
+    /// Subject to fault injection: a scheduled [`WriteFault::ProgramFail`]
+    /// (or a write aimed at a bad block) fails with
+    /// [`FlashError::ProgramFailed`] after charging the program latency,
+    /// and a scheduled torn-write fault captures a crash image with the
+    /// in-flight page torn while this live write completes normally.
     pub fn write_page(
         &mut self,
         block: BlockId,
@@ -155,7 +183,34 @@ impl FlashDevice {
         purpose: IoPurpose,
     ) -> Result<Ppn> {
         self.check_block(block)?;
+        if self.blocks[block.0 as usize].is_full() {
+            return Err(FlashError::BlockFull(block));
+        }
+        let attempt = self.writes_attempted;
+        self.writes_attempted += 1;
+        let fault = self.fault.write_fault(attempt);
+        if self.bad[block.0 as usize] || fault == Some(WriteFault::ProgramFail) {
+            // A failed program costs real time, persists nothing (the write
+            // pointer does not advance) and takes the whole block out of
+            // service; writes aimed at an already-bad block always fail.
+            self.bad[block.0 as usize] = true;
+            self.fault_stats.program_failures += 1;
+            self.charge_us(block, purpose, self.latency.page_write_us);
+            return Err(FlashError::ProgramFailed(block));
+        }
         let seq = self.bump_seq();
+        if let Some(f @ (WriteFault::TornData | WriteFault::TornSpare)) = fault {
+            let mut image = self.clone();
+            image.fault = FaultPlan::default();
+            image.crash_image = None;
+            let (torn_data, torn_spare) = match f {
+                WriteFault::TornData => (None, Some(Spare { seq, info })),
+                _ => (Some(data.clone()), None),
+            };
+            image.blocks[block.0 as usize].append_torn(torn_data, torn_spare);
+            self.crash_image = Some(Box::new(image));
+            self.fault_stats.torn_writes += 1;
+        }
         let off = self.blocks[block.0 as usize].append(block, data, Spare { seq, info })?;
         self.stats.record_page_write(purpose);
         self.charge_us(block, purpose, self.latency.page_write_us);
@@ -188,8 +243,23 @@ impl FlashDevice {
     }
 
     /// Erase a whole block, freeing all of its pages.
+    ///
+    /// Subject to fault injection: a scheduled [`EraseFault::Fail`] (or an
+    /// erase of a bad block) fails with [`FlashError::EraseFailed`] leaving
+    /// the contents intact, and a scheduled [`EraseFault::Crash`] captures
+    /// a crash image with the erase just applied while live execution
+    /// continues.
     pub fn erase_block(&mut self, block: BlockId, purpose: IoPurpose) -> Result<()> {
         self.check_block(block)?;
+        let attempt = self.erases_attempted;
+        self.erases_attempted += 1;
+        let fault = self.fault.erase_fault(attempt);
+        if self.bad[block.0 as usize] || fault == Some(EraseFault::Fail) {
+            self.bad[block.0 as usize] = true;
+            self.fault_stats.erase_failures += 1;
+            self.charge_us(block, purpose, self.latency.erase_us);
+            return Err(FlashError::EraseFailed(block));
+        }
         if let Some(budget) = self.erase_budget {
             if self.blocks[block.0 as usize].erase_count() >= budget {
                 return Err(FlashError::BlockWornOut(block));
@@ -199,7 +269,75 @@ impl FlashDevice {
         self.blocks[block.0 as usize].erase(seq);
         self.stats.record_erase(purpose);
         self.charge_us(block, purpose, self.latency.erase_us);
+        if fault == Some(EraseFault::Crash) {
+            let mut image = self.clone();
+            image.fault = FaultPlan::default();
+            image.crash_image = None;
+            self.crash_image = Some(Box::new(image));
+            self.fault_stats.erase_crashes += 1;
+        }
         Ok(())
+    }
+
+    /// Install a fault plan (replacing any previous one). Attempt indices
+    /// keep counting from the device's construction, so installing a plan
+    /// mid-run schedules faults relative to the *lifetime* attempt counts —
+    /// see [`FlashDevice::write_attempts`] / [`FlashDevice::erase_attempts`].
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = plan;
+    }
+
+    /// The fault plan currently installed.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.fault
+    }
+
+    /// Counters of faults actually delivered.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.fault_stats
+    }
+
+    /// Lifetime program attempts (including failed ones) — the index space
+    /// of [`FaultPlan::on_write`].
+    pub fn write_attempts(&self) -> u64 {
+        self.writes_attempted
+    }
+
+    /// Lifetime erase attempts (including failed ones) — the index space of
+    /// [`FaultPlan::on_erase`].
+    pub fn erase_attempts(&self) -> u64 {
+        self.erases_attempted
+    }
+
+    /// Whether a block is marked bad. Free to query (the bad-block table is
+    /// firmware-resident, persisted like erase counters), so recovery can
+    /// consult it without IO.
+    pub fn is_bad(&self, block: BlockId) -> bool {
+        self.bad[block.0 as usize]
+    }
+
+    /// Mark a block bad by hand (tests / harness setup).
+    pub fn mark_bad(&mut self, block: BlockId) {
+        self.bad[block.0 as usize] = true;
+    }
+
+    /// Number of blocks currently marked bad.
+    pub fn bad_blocks(&self) -> usize {
+        self.bad.iter().filter(|&&b| b).count()
+    }
+
+    /// Whether a fault captured a crash image since the last
+    /// [`FlashDevice::take_crash_image`].
+    pub fn crash_image_ready(&self) -> bool {
+        self.crash_image.is_some()
+    }
+
+    /// Take the pending crash image, if any: the device state as a power
+    /// cut inside a faulted operation would have left it. Feed it to
+    /// recovery in place of the live device (which is abandoned — its
+    /// history past the fault never happened).
+    pub fn take_crash_image(&mut self) -> Option<FlashDevice> {
+        self.crash_image.take().map(|b| *b)
     }
 
     /// Block-level inspection: number of pages programmed since last erase.
@@ -439,6 +577,159 @@ mod tests {
             d.erase_block(BlockId(0), IoPurpose::WearLevel),
             Err(FlashError::BlockWornOut(BlockId(0)))
         );
+    }
+
+    #[test]
+    fn program_fail_persists_nothing_and_marks_bad() {
+        let mut d = dev();
+        d.set_fault_plan(FaultPlan::new().on_write(1, WriteFault::ProgramFail));
+        write_user(&mut d, 0, 1, 1);
+        let before = d.clock().now_us();
+        let err = d.write_page(
+            BlockId(0),
+            PageData::User {
+                lpn: Lpn(2),
+                version: 1,
+            },
+            SpareInfo::User {
+                lpn: Lpn(2),
+                before: None,
+            },
+            IoPurpose::UserWrite,
+        );
+        assert_eq!(err, Err(FlashError::ProgramFailed(BlockId(0))));
+        // Nothing persisted, but the attempt cost real time.
+        assert_eq!(d.written_pages(BlockId(0)), 1);
+        assert!(d.clock().now_us() > before);
+        assert!(d.is_bad(BlockId(0)));
+        assert_eq!(d.bad_blocks(), 1);
+        assert_eq!(d.fault_stats().program_failures, 1);
+        // Once bad, every further write to the block fails too.
+        let err = d.write_page(
+            BlockId(0),
+            PageData::User {
+                lpn: Lpn(3),
+                version: 1,
+            },
+            SpareInfo::User {
+                lpn: Lpn(3),
+                before: None,
+            },
+            IoPurpose::UserWrite,
+        );
+        assert_eq!(err, Err(FlashError::ProgramFailed(BlockId(0))));
+        assert_eq!(d.fault_stats().program_failures, 2);
+        // Other blocks are unaffected.
+        write_user(&mut d, 1, 2, 1);
+    }
+
+    #[test]
+    fn torn_data_write_captures_crash_image_and_live_continues() {
+        let mut d = dev();
+        d.set_fault_plan(FaultPlan::new().on_write(1, WriteFault::TornData));
+        write_user(&mut d, 0, 1, 1);
+        assert!(!d.crash_image_ready());
+        let ppn = write_user(&mut d, 0, 2, 1);
+        assert!(d.crash_image_ready());
+        assert_eq!(d.fault_stats().torn_writes, 1);
+        // Live device is oblivious: the write completed normally.
+        assert!(d.is_written(ppn));
+        assert_eq!(
+            d.read_page(ppn, IoPurpose::UserRead).unwrap().as_user(),
+            Some((Lpn(2), 1))
+        );
+        // The image holds the torn page: consumed, spare intact, data lost.
+        let image = d.take_crash_image().unwrap();
+        assert!(!d.crash_image_ready());
+        assert_eq!(image.written_pages(BlockId(0)), 2);
+        assert!(!image.is_written(ppn), "torn data area reads as unwritten");
+        let spare = image.peek_spare(ppn).expect("spare survived");
+        assert_eq!(
+            spare.info,
+            SpareInfo::User {
+                lpn: Lpn(2),
+                before: None
+            }
+        );
+        // The torn page is the image's newest write: nothing after it.
+        assert!(image.now_seq() <= d.now_seq());
+        assert!(image.fault_plan().is_empty(), "images replay fault-free");
+    }
+
+    #[test]
+    fn torn_spare_write_loses_identity_keeps_data() {
+        let mut d = dev();
+        d.set_fault_plan(FaultPlan::new().on_write(0, WriteFault::TornSpare));
+        let ppn = write_user(&mut d, 0, 7, 1);
+        let mut image = d.take_crash_image().unwrap();
+        assert_eq!(image.written_pages(BlockId(0)), 1);
+        assert!(image.peek_spare(ppn).is_none(), "spare area lost");
+        assert!(image.read_spare(ppn, IoPurpose::Recovery).is_err());
+        assert_eq!(
+            image.peek_page(ppn).and_then(|p| p.as_user()),
+            Some((Lpn(7), 1)),
+            "data area survived"
+        );
+    }
+
+    #[test]
+    fn erase_fail_keeps_contents_and_marks_bad() {
+        let mut d = dev();
+        let ppn = write_user(&mut d, 0, 1, 1);
+        d.set_fault_plan(FaultPlan::new().on_erase(0, EraseFault::Fail));
+        assert_eq!(
+            d.erase_block(BlockId(0), IoPurpose::GcMigrateUser),
+            Err(FlashError::EraseFailed(BlockId(0)))
+        );
+        assert!(d.is_written(ppn), "failed erase leaves contents intact");
+        assert!(d.is_bad(BlockId(0)));
+        assert_eq!(d.fault_stats().erase_failures, 1);
+        assert_eq!(d.erase_count(BlockId(0)), 0);
+        // Later erases of the bad block keep failing.
+        assert_eq!(
+            d.erase_block(BlockId(0), IoPurpose::GcMigrateUser),
+            Err(FlashError::EraseFailed(BlockId(0)))
+        );
+        assert_eq!(d.fault_stats().erase_failures, 2);
+    }
+
+    #[test]
+    fn erase_crash_erases_live_and_captures_image() {
+        let mut d = dev();
+        let ppn = write_user(&mut d, 0, 1, 1);
+        d.set_fault_plan(FaultPlan::new().on_erase(0, EraseFault::Crash));
+        d.erase_block(BlockId(0), IoPurpose::GcMigrateUser).unwrap();
+        assert!(!d.is_written(ppn), "live erase succeeded");
+        assert_eq!(d.fault_stats().erase_crashes, 1);
+        let image = d.take_crash_image().unwrap();
+        assert!(!image.is_written(ppn), "image sees the erase applied");
+        assert_eq!(image.erase_count(BlockId(0)), 1);
+        assert!(image.fault_plan().is_empty());
+    }
+
+    #[test]
+    fn attempt_counters_index_the_fault_plan() {
+        let mut d = dev();
+        assert_eq!(d.write_attempts(), 0);
+        write_user(&mut d, 0, 1, 1);
+        d.mark_bad(BlockId(5));
+        // A failed attempt still consumes an attempt index.
+        let _ = d.write_page(
+            BlockId(5),
+            PageData::User {
+                lpn: Lpn(9),
+                version: 1,
+            },
+            SpareInfo::User {
+                lpn: Lpn(9),
+                before: None,
+            },
+            IoPurpose::UserWrite,
+        );
+        assert_eq!(d.write_attempts(), 2);
+        d.erase_block(BlockId(1), IoPurpose::WearLevel).unwrap();
+        let _ = d.erase_block(BlockId(5), IoPurpose::WearLevel);
+        assert_eq!(d.erase_attempts(), 2);
     }
 
     #[test]

@@ -6,9 +6,16 @@ use std::fmt;
 /// Convenience alias for device results.
 pub type Result<T> = std::result::Result<T, FlashError>;
 
-/// Ways a device operation can fail. These model *firmware bugs*: a correct
-/// FTL never triggers them, and the simulator surfaces them loudly instead of
-/// silently corrupting state.
+/// Ways a device operation can fail.
+///
+/// Two families share this type. `BlockFull`, `PageNotWritten`,
+/// `OutOfRange` and `BlockOutOfRange` model *firmware bugs*: a correct FTL
+/// never triggers them, and the simulator surfaces them loudly instead of
+/// silently corrupting state. `ProgramFailed`, `EraseFailed` and
+/// `BlockWornOut` model *recoverable hardware faults* (injected via
+/// [`crate::FaultPlan`] or an erase budget): real devices exhibit them at
+/// scale, and a robust FTL handles them — retry the write on a fresh block,
+/// retire the bad block — instead of crashing.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum FlashError {
     /// Write issued to a block whose write pointer has reached the end.
@@ -22,6 +29,14 @@ pub enum FlashError {
     /// The device has worn out this block past its configured erase budget
     /// (only reported when an erase budget is configured).
     BlockWornOut(BlockId),
+    /// The program operation failed (hardware fault): nothing was persisted
+    /// and the block is now marked bad. Recoverable — retry on another
+    /// block.
+    ProgramFailed(BlockId),
+    /// The erase operation failed (hardware fault): block contents are
+    /// unchanged and the block is now marked bad. Recoverable — retire the
+    /// block.
+    EraseFailed(BlockId),
 }
 
 impl fmt::Display for FlashError {
@@ -32,6 +47,8 @@ impl fmt::Display for FlashError {
             FlashError::OutOfRange(p) => write!(f, "page address {p:?} out of range"),
             FlashError::BlockOutOfRange(b) => write!(f, "block address {b:?} out of range"),
             FlashError::BlockWornOut(b) => write!(f, "block {b:?} exceeded its erase budget"),
+            FlashError::ProgramFailed(b) => write!(f, "program operation failed on bad {b:?}"),
+            FlashError::EraseFailed(b) => write!(f, "erase operation failed on bad {b:?}"),
         }
     }
 }

@@ -42,6 +42,7 @@
 pub mod block;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod geometry;
 pub mod latency;
 pub mod page;
@@ -50,6 +51,7 @@ pub mod stats;
 pub use block::Block;
 pub use device::FlashDevice;
 pub use error::{FlashError, Result};
+pub use fault::{EraseFault, FaultPlan, FaultStats, WriteFault};
 pub use geometry::{BlockId, Geometry, Lpn, PageOffset, Ppn};
 pub use latency::{LatencyModel, SimClock};
 pub use page::{MetaKind, PageData, Spare, SpareInfo};

@@ -12,6 +12,11 @@ pub enum WorkloadOp {
     Write(Lpn),
     /// Read a logical page.
     Read(Lpn),
+    /// A gap of `n` idle ticks: quiet time the host gives the device, which
+    /// the FTL may spend on background maintenance (incremental merge
+    /// slices). Generators never emit it; traces carry it so recorded
+    /// burst/idle shapes replay bit-identically.
+    Idle(u32),
 }
 
 /// Uniformly random page updates over the logical space — the paper's
@@ -231,6 +236,7 @@ mod tests {
             .map(|op| match op {
                 WorkloadOp::Write(l) => l.0,
                 WorkloadOp::Read(l) => l.0,
+                WorkloadOp::Idle(_) => unreachable!("generators do not emit idle gaps"),
             })
             .collect()
     }

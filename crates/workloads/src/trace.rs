@@ -47,14 +47,29 @@ impl Trace {
         self.ops.iter().copied()
     }
 
-    /// Serialize to a compact text form (one op per line: `W <lpn>` or
-    /// `R <lpn>`), e.g. for saving alongside experiment results.
+    /// The operations as a slice (for mutation-based fuzzing, which edits
+    /// recorded traces op-by-op).
+    pub fn ops(&self) -> &[WorkloadOp] {
+        &self.ops
+    }
+
+    /// Append one operation.
+    pub fn push(&mut self, op: WorkloadOp) {
+        self.ops.push(op);
+    }
+
+    /// Serialize to a compact text form (one op per line: `W <lpn>`,
+    /// `R <lpn>` or `I <ticks>`), e.g. for saving alongside experiment
+    /// results or committing a minimized fuzz trace to the corpus. Blank
+    /// lines and `#`-comments are tolerated by the parser, so corpus files
+    /// can carry a provenance header.
     pub fn to_text(&self) -> String {
         let mut s = String::with_capacity(self.ops.len() * 8);
         for op in &self.ops {
             match op {
                 WorkloadOp::Write(l) => s.push_str(&format!("W {}\n", l.0)),
                 WorkloadOp::Read(l) => s.push_str(&format!("R {}\n", l.0)),
+                WorkloadOp::Idle(n) => s.push_str(&format!("I {n}\n")),
             }
         }
         s
@@ -65,16 +80,20 @@ impl Trace {
         let mut ops = Vec::new();
         for (i, line) in text.lines().enumerate() {
             let line = line.trim();
-            if line.is_empty() {
+            if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (kind, lpn) = line
+            let (kind, arg) = line
                 .split_once(' ')
-                .ok_or_else(|| format!("line {}: expected '<W|R> <lpn>'", i + 1))?;
-            let lpn: u32 = lpn.parse().map_err(|e| format!("line {}: {e}", i + 1))?;
+                .ok_or_else(|| format!("line {}: expected '<W|R|I> <n>'", i + 1))?;
+            let arg: u32 = arg
+                .trim()
+                .parse()
+                .map_err(|e| format!("line {}: {e}", i + 1))?;
             match kind {
-                "W" => ops.push(WorkloadOp::Write(Lpn(lpn))),
-                "R" => ops.push(WorkloadOp::Read(Lpn(lpn))),
+                "W" => ops.push(WorkloadOp::Write(Lpn(arg))),
+                "R" => ops.push(WorkloadOp::Read(Lpn(arg))),
+                "I" => ops.push(WorkloadOp::Idle(arg)),
                 other => return Err(format!("line {}: unknown op '{other}'", i + 1)),
             }
         }
@@ -122,7 +141,46 @@ mod tests {
         assert!(Trace::from_text("X 1").is_err());
         assert!(Trace::from_text("W abc").is_err());
         assert!(Trace::from_text("W").is_err());
-        // Blank lines are fine.
-        assert_eq!(Trace::from_text("\nW 1\n\n").unwrap().len(), 1);
+        // Blank lines and comments are fine.
+        assert_eq!(Trace::from_text("# header\n\nW 1\n\n").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn idle_gaps_serialize() {
+        let t = Trace::from_ops(vec![
+            WorkloadOp::Write(Lpn(1)),
+            WorkloadOp::Idle(40),
+            WorkloadOp::Read(Lpn(1)),
+        ]);
+        let text = t.to_text();
+        assert_eq!(text, "W 1\nI 40\nR 1\n");
+        assert_eq!(Trace::from_text(&text).unwrap(), t);
+        assert_eq!(t.writes(), 1, "idle gaps are not writes");
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arb_op() -> impl Strategy<Value = WorkloadOp> {
+            prop_oneof![
+                (0u32..100_000).prop_map(|l| WorkloadOp::Write(Lpn(l))),
+                (0u32..100_000).prop_map(|l| WorkloadOp::Read(Lpn(l))),
+                (0u32..10_000).prop_map(WorkloadOp::Idle),
+            ]
+        }
+
+        proptest! {
+            /// Any trace survives a text round trip bit-identically — the
+            /// property the fuzz corpus depends on.
+            #[test]
+            fn text_round_trips_any_trace(
+                ops in prop::collection::vec(arb_op(), 0..400),
+            ) {
+                let t = Trace::from_ops(ops);
+                let parsed = Trace::from_text(&t.to_text()).unwrap();
+                prop_assert_eq!(parsed, t);
+            }
+        }
     }
 }

@@ -38,6 +38,7 @@ fn main() {
                 WorkloadOp::Read(lpn) => {
                     let _ = ftl.read(lpn);
                 }
+                WorkloadOp::Idle(_) => {}
             }
         }
         let d = ftl.device().stats().since(&snap);

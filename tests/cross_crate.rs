@@ -24,6 +24,7 @@ fn replay_with_oracle(kind: BaselineKind, trace: &Trace) {
                 ftl.write(lpn, version);
                 oracle.insert(lpn.0, version);
             }
+            WorkloadOp::Idle(_) => {}
             WorkloadOp::Read(lpn) => {
                 assert_eq!(
                     ftl.read(lpn),
@@ -134,6 +135,7 @@ fn mixed_read_write_workload_accounts_read_amplification() {
             WorkloadOp::Read(lpn) => {
                 let _ = ftl.read(lpn);
             }
+            WorkloadOp::Idle(_) => {}
         }
     }
     let d = ftl.device().stats().since(&snap);

@@ -1,0 +1,39 @@
+//! Corpus regression tests: every scenario committed under `fuzz/corpus/`
+//! replays clean, forever.
+//!
+//! The corpus has two kinds of entries. Handcrafted scenarios pin one fault
+//! kind each (torn data page, torn spare, program fail, erase fail, crash
+//! inside an erase, boundary power cut), so a regression in any single
+//! fault-handling path fails a named entry. `fuzz_found_*` entries are
+//! minimized reproducers of bugs the fuzz campaign actually caught — they
+//! failed once, were fixed, and must never fail again. See
+//! `crates/bench/src/fuzz/` and fuzz/README.md for the format and tooling.
+
+use gecko_bench::fuzz::replay_corpus;
+
+#[test]
+fn every_corpus_scenario_replays_clean() {
+    let results = replay_corpus();
+    assert!(
+        !results.is_empty(),
+        "fuzz/corpus/ is empty — the regression corpus went missing"
+    );
+    let mut delivered_any_fault = false;
+    for (name, out) in &results {
+        assert!(
+            out.ok,
+            "corpus scenario {name} regressed: {}",
+            out.failure.as_deref().unwrap_or("unknown failure")
+        );
+        let f = out.faults;
+        if f.torn_writes + f.program_failures + f.erase_failures + f.erase_crashes > 0 {
+            delivered_any_fault = true;
+        }
+    }
+    // Guard against the corpus silently rotting into no-ops (e.g. fault
+    // indices that execution never reaches after a scheduler change).
+    assert!(
+        delivered_any_fault,
+        "no corpus scenario delivered a device fault — indices are stale"
+    );
+}
