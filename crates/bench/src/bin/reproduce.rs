@@ -6,6 +6,8 @@
 //! reproduce list               # what exists
 //! reproduce all --csv out/     # also write CSV files
 //! reproduce merge_latency --smoke   # CI-sized run, no JSON rewrite
+//! reproduce merge_latency --trace trace.json   # Chrome Trace timeline
+//! reproduce check-trace trace.json  # validate a trace file (CI)
 //! ```
 
 use gecko_bench::experiments::{find, ALL};
@@ -27,6 +29,16 @@ fn main() {
                 ));
             }
             "--smoke" => gecko_bench::smoke::set(true),
+            "--trace" => {
+                i += 1;
+                gecko_bench::tracing::set(args.get(i).map(String::as_str).unwrap_or("trace.json"));
+            }
+            "check-trace" => {
+                i += 1;
+                let path = args.get(i).map(String::as_str).unwrap_or("trace.json");
+                check_trace(path);
+                return;
+            }
             "list" => {
                 println!("available experiments:");
                 for e in ALL {
@@ -40,7 +52,7 @@ fn main() {
         i += 1;
     }
     if slugs.is_empty() {
-        eprintln!("usage: reproduce <all|list|slug...> [--csv dir]");
+        eprintln!("usage: reproduce <all|list|check-trace|slug...> [--csv dir] [--trace file]");
         eprintln!("run `reproduce list` to see the experiments");
         std::process::exit(2);
     }
@@ -63,5 +75,32 @@ fn main() {
             "<< {slug} done in {:.1}s\n",
             started.elapsed().as_secs_f64()
         );
+    }
+}
+
+/// Validate a Chrome Trace Event Format file produced by `--trace`: it must
+/// parse as JSON, every event must carry the Trace Event fields (`ph`, and
+/// `ts`/`dur`/`pid`/`tid` for complete events), and the trace must be
+/// non-empty with at least one flash-channel lane. Exits non-zero on any
+/// violation, so CI can gate on it.
+fn check_trace(path: &str) {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("check-trace: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    match flash_sim::telemetry::validate_chrome_trace(&text) {
+        Ok(s) => {
+            println!(
+                "{path}: ok — {} events ({} complete), {} channel lanes, {} span lanes, {} dropped",
+                s.total_events, s.complete_events, s.channel_lanes, s.span_lanes, s.dropped_events
+            );
+        }
+        Err(e) => {
+            eprintln!("check-trace: {path} is not a valid trace: {e}");
+            std::process::exit(1);
+        }
     }
 }

@@ -18,49 +18,29 @@
 use crate::fuzz::oracle::audit_state;
 use crate::harness::fill_sequential;
 use crate::report::{f3, Table};
-use flash_sim::{Geometry, IoPurpose};
+use flash_sim::telemetry::{chrome_trace_json, TraceEvent};
+use flash_sim::{Geometry, Histogram, IoPurpose};
 use ftl_baselines::ftls::build_geckoftl_tuned;
 use ftl_workloads::{Mixed, WorkloadOp, Zipfian};
 use geckoftl_core::ftl::{FtlConfig, GcPolicy, RecoveryPolicy};
 use geckoftl_core::gecko::GeckoConfig;
 use std::time::Instant;
 
-/// Latency distribution of one variant's measured writes, in microseconds.
-struct LatencyDist {
-    sorted: Vec<f64>,
-}
-
-impl LatencyDist {
-    fn new(mut samples: Vec<f64>) -> Self {
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-        LatencyDist { sorted: samples }
-    }
-
-    fn quantile(&self, q: f64) -> f64 {
-        let i = ((self.sorted.len() as f64 - 1.0) * q).round() as usize;
-        self.sorted[i]
-    }
-
-    fn max(&self) -> f64 {
-        *self.sorted.last().expect("non-empty distribution")
-    }
-
-    fn mean(&self) -> f64 {
-        self.sorted.iter().sum::<f64>() / self.sorted.len() as f64
-    }
-}
-
 struct VariantResult {
     name: String,
-    lat: LatencyDist,
+    /// Per-write latency, in the shared streaming histogram (the same
+    /// log-bucketed [`Histogram`] every percentile in this crate now comes
+    /// from; its equivalence to the old sort-based quantiles is pinned by
+    /// `ftl_telemetry::hist` regression tests).
+    lat: Histogram,
     /// Per-read latency: the incremental variant donates merge slices from
     /// the read path too, so an honest A/B must show where that IO went —
     /// not just the write tail it left.
-    read_lat: LatencyDist,
+    read_lat: Histogram,
     /// Per-write merge-stall component: the `ValidityMerge` busy time each
     /// measured write was charged. The direct measure of what the scheduler
     /// moves off the critical path.
-    stall: LatencyDist,
+    stall: Histogram,
     wa_total: f64,
     merge_busy_us: f64,
     merge_stall_drains: u64,
@@ -91,7 +71,77 @@ fn gecko_cfg(sync_merge: bool) -> GeckoConfig {
     }
 }
 
-fn run_variant(name: String, sync_merge: bool, measured_writes: usize) -> VariantResult {
+/// Export the variant's telemetry as Chrome Trace Event Format JSON and
+/// print a per-purpose reconciliation of the trace's channel lanes against
+/// `IoStats::busy_us`: with no dropped events, the sum of event durations
+/// per purpose equals the busy time the stats charged over the same window
+/// (the flash-sim `telemetry_io_events_reconcile_with_busy_us` test pins
+/// this exactly; here it is reported for the real run).
+fn export_trace(
+    path: &str,
+    engine: &geckoftl_core::ftl::FtlEngine,
+    delta: &flash_sim::StatsSnapshot,
+) {
+    let t = engine.telemetry();
+    let mut labels = [""; 14];
+    for p in IoPurpose::ALL {
+        labels[p.index()] = p.label();
+    }
+    let json = chrome_trace_json(t, &labels);
+    match std::fs::write(path, &json) {
+        Ok(()) => eprintln!(
+            "   wrote {path}: {} events ({} dropped)",
+            t.total_events(),
+            t.dropped_events()
+        ),
+        Err(e) => eprintln!("   could not write {path}: {e}"),
+    }
+    let mut per_purpose = [0.0f64; 14];
+    for ev in t.events() {
+        if let TraceEvent::Io {
+            purpose, dur_us, ..
+        } = ev
+        {
+            per_purpose[*purpose as usize] += *dur_us as f64;
+        }
+    }
+    if t.dropped_events() > 0 {
+        eprintln!(
+            "   WARNING: {} events dropped; lane sums undercount busy_us",
+            t.dropped_events()
+        );
+        return;
+    }
+    eprintln!("   trace lanes vs IoStats::busy_us over the measured window:");
+    for p in IoPurpose::ALL {
+        let busy = delta.busy_us(p);
+        let lanes = per_purpose[p.index()];
+        if busy == 0.0 && lanes == 0.0 {
+            continue;
+        }
+        // f32 event durations: allow rounding at ~1e-7 relative.
+        let ok = (lanes - busy).abs() <= 1e-6 * busy.abs().max(1.0);
+        eprintln!(
+            "     {:<18} lanes {:14.1}  busy {:14.1}  {}",
+            p.label(),
+            lanes,
+            busy,
+            if ok { "ok" } else { "MISMATCH" }
+        );
+        assert!(
+            ok,
+            "trace lanes must reconcile with busy_us for {}: {lanes} vs {busy}",
+            p.label()
+        );
+    }
+}
+
+fn run_variant(
+    name: String,
+    sync_merge: bool,
+    measured_writes: usize,
+    trace: Option<&str>,
+) -> VariantResult {
     let geo = geometry();
     let cfg = FtlConfig {
         // A few percent of the logical space (not the paper's 0.14 %
@@ -133,25 +183,34 @@ fn run_variant(name: String, sync_merge: bool, measured_writes: usize) -> Varian
 
     let snap = engine.device().stats().snapshot();
     let gecko_before = engine.backend().gecko().expect("gecko backend").stats;
+    if trace.is_some() {
+        // The ring must hold every IO event of the measured window for the
+        // per-channel lanes to reconcile with busy_us (≈ a few IO events
+        // per write at WA ≈ 1.2, plus GC bursts; 32× is comfortably over).
+        engine.telemetry_mut().enable(measured_writes * 32);
+    }
     let started = Instant::now();
-    let mut latencies = Vec::with_capacity(measured_writes);
-    let mut read_latencies = Vec::new();
-    let mut stalls = Vec::with_capacity(measured_writes);
-    while latencies.len() < measured_writes {
+    let mut lat = Histogram::new();
+    let mut read_lat = Histogram::new();
+    let mut stall = Histogram::new();
+    let mut measured = 0usize;
+    while measured < measured_writes {
         match gen.next().expect("infinite generator") {
             WorkloadOp::Write(lpn) => {
                 version += 1;
                 let before_us = engine.device().clock().now_us();
                 let merge_before = engine.device().stats().busy_us(IoPurpose::ValidityMerge);
                 engine.write(lpn, version);
-                latencies.push(engine.device().clock().now_us() - before_us);
-                stalls
-                    .push(engine.device().stats().busy_us(IoPurpose::ValidityMerge) - merge_before);
+                lat.record(engine.device().clock().now_us() - before_us);
+                stall.record(
+                    engine.device().stats().busy_us(IoPurpose::ValidityMerge) - merge_before,
+                );
+                measured += 1;
             }
             WorkloadOp::Read(lpn) => {
                 let before_us = engine.device().clock().now_us();
                 let _ = engine.read(lpn);
-                read_latencies.push(engine.device().clock().now_us() - before_us);
+                read_lat.record(engine.device().clock().now_us() - before_us);
             }
             WorkloadOp::Idle(ticks) => {
                 for _ in 0..ticks {
@@ -163,6 +222,10 @@ fn run_variant(name: String, sync_merge: bool, measured_writes: usize) -> Varian
     let wall_secs = started.elapsed().as_secs_f64();
     let delta = engine.device().stats().since(&snap);
     let gecko_after = engine.backend().gecko().expect("gecko backend").stats;
+    if let Some(path) = trace {
+        export_trace(path, &engine, &delta);
+        engine.telemetry_mut().set_enabled(false); // shutdown IO is not part of the window
+    }
 
     // Quiesce (sync dirty entries, flush + drain merges), then audit.
     engine.shutdown_clean();
@@ -170,9 +233,9 @@ fn run_variant(name: String, sync_merge: bool, measured_writes: usize) -> Varian
 
     VariantResult {
         name,
-        lat: LatencyDist::new(latencies),
-        read_lat: LatencyDist::new(read_latencies),
-        stall: LatencyDist::new(stalls),
+        lat,
+        read_lat,
+        stall,
         wa_total: delta.wa_breakdown(10.0).total(),
         merge_busy_us: delta.busy_us(IoPurpose::ValidityMerge),
         merge_stall_drains: gecko_after.merge_stall_drains - gecko_before.merge_stall_drains,
@@ -282,7 +345,10 @@ fn emit_json(sync: &VariantResult, inc: &VariantResult, measured_writes: usize) 
 pub fn run() -> Vec<Table> {
     let smoke = crate::smoke::on();
     let measured_writes = if smoke { 5_000 } else { 40_000 };
-    let sync = run_variant("sync merges (paper)".into(), true, measured_writes);
+    let sync = run_variant("sync merges (paper)".into(), true, measured_writes, None);
+    // The incremental variant is the one worth a timeline: its merge slices
+    // overlap across channels, which is exactly what the per-channel lanes
+    // of the Chrome trace make visible.
     let inc = run_variant(
         format!(
             "incremental (step={}, {}ch)",
@@ -291,6 +357,7 @@ pub fn run() -> Vec<Table> {
         ),
         false,
         measured_writes,
+        crate::tracing::path(),
     );
 
     let mut t = Table::new(

@@ -16,17 +16,29 @@
 //!
 //! The returned [`Fitness`] carries the worst-case signals the fuzzer
 //! maximizes: max write latency, write amplification, recovery cost and
-//! retired (permanently lost) blocks.
+//! retired (permanently lost) blocks. All four are read from the unified
+//! telemetry layer — the `HostWrite` span histogram, the `recovery.last_us`
+//! registry gauge and registry counter deltas — instead of bespoke clock
+//! arithmetic around each call. Telemetry is observational by construction
+//! (it never touches the simulated clock or IO stats), so replays remain
+//! bit-identical to the pre-telemetry harness; the corpus regression test
+//! pins that.
 
 use super::oracle::audit_state;
 use super::scenario::Scenario;
 use crate::fuzz::corpus_dir;
-use flash_sim::{FaultPlan, FaultStats, FlashDevice, Geometry, Lpn};
+use flash_sim::{FaultPlan, FaultStats, FlashDevice, Geometry, Lpn, SpanKind};
 use ftl_workloads::WorkloadOp;
+use geckoftl_core::ftl::metrics::wa_total;
 use geckoftl_core::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
 use geckoftl_core::gecko::{GeckoConfig, LogGecko};
 use geckoftl_core::recovery::gecko_recover;
 use std::collections::BTreeMap;
+
+/// Ring capacity for replay telemetry. Spans/IO events beyond this are
+/// dropped oldest-first, which never affects fitness: the signals below come
+/// from the histograms and the registry, not the ring.
+const REPLAY_RING: usize = 1 << 12;
 
 /// Worst-case signals of one replay, used as fuzzing feedback.
 #[derive(Clone, Copy, Debug, Default)]
@@ -86,7 +98,19 @@ fn engine_for(sc: &Scenario) -> FtlEngine {
             ..GeckoConfig::paper_default(&geo)
         },
     );
-    FtlEngine::format(geo, cfg, ValidityBackend::Gecko(gecko))
+    let mut engine = FtlEngine::format(geo, cfg, ValidityBackend::Gecko(gecko));
+    engine.telemetry_mut().enable(REPLAY_RING);
+    engine
+}
+
+/// Worst `HostWrite` span seen by an engine's telemetry, in µs. The span
+/// duration is the same clock subtraction the harness used to perform
+/// around each `write()` call, so the histogram max is it, bit for bit.
+fn host_write_max(engine: &FtlEngine) -> f64 {
+    engine
+        .telemetry()
+        .span_hist(SpanKind::HostWrite)
+        .map_or(0.0, |h| h.max())
 }
 
 fn recover_engine(
@@ -98,8 +122,12 @@ fn recover_engine(
     // target the pre-crash history only (crash images already carry an
     // empty plan; boundary crashes clear it here).
     dev.set_fault_plan(FaultPlan::default());
-    let (engine, report) = gecko_recover(dev, cfg, gecko_cfg);
-    (engine, report.total_secs() * 1e6)
+    let (engine, _report) = gecko_recover(dev, cfg, gecko_cfg);
+    // The registry gauge mirrors `RecoveryReport::total_secs() * 1e6`
+    // exactly: each step span's duration is the step's `sim_us` subtraction,
+    // accumulated in report order.
+    let recovery_us = engine.metrics().gauge("recovery.last_us");
+    (engine, recovery_us)
 }
 
 /// Verify every acknowledged write against the recovered engine, treating
@@ -142,7 +170,7 @@ pub fn replay(sc: &Scenario) -> Outcome {
     let cfg = engine.config();
     let gecko_cfg = engine.backend().gecko().expect("gecko backend").config();
     engine.with_raw_parts(|dev, _| dev.set_fault_plan(sc.fault_plan()));
-    let start = engine.device().stats().snapshot();
+    let start_metrics = engine.metrics();
 
     let mut oracle: BTreeMap<u32, u64> = BTreeMap::new();
     let mut version = 0u64;
@@ -174,10 +202,10 @@ pub fn replay(sc: &Scenario) -> Outcome {
             WorkloadOp::Write(l) => {
                 let lpn = Lpn(l.0 % logical);
                 version += 1;
-                let before_us = engine.device().clock().now_us();
+                // Latency is captured by the engine's HostWrite span; the
+                // histogram max is folded into the fitness at engine
+                // hand-offs and at the end of the run.
                 engine.write(lpn, version);
-                let us = engine.device().clock().now_us() - before_us;
-                fitness.max_write_us = fitness.max_write_us.max(us);
                 this_write = Some((lpn, version));
             }
             WorkloadOp::Read(l) => {
@@ -206,6 +234,10 @@ pub fn replay(sc: &Scenario) -> Outcome {
         if let Some(image) = image {
             crashed = true;
             faults = engine.device().fault_stats();
+            // The image's telemetry is the pre-crash prefix: it misses the
+            // doomed op's own span (recorded on the live engine after the
+            // image was captured), so fold the live maximum in first.
+            fitness.max_write_us = fitness.max_write_us.max(host_write_max(&engine));
             drop(engine);
             let (rec, rec_us) = recover_engine(image, cfg, gecko_cfg);
             engine = rec;
@@ -218,9 +250,13 @@ pub fn replay(sc: &Scenario) -> Outcome {
                     faults,
                 );
             }
-            // Re-issue the interrupted write, as a retrying host would.
+            // Re-issue the interrupted write, as a retrying host would. The
+            // retry is not a measured host write (it never was), so its span
+            // is suppressed.
             if let Some((lpn, v)) = this_write {
+                engine.telemetry_mut().set_enabled(false);
                 engine.write(lpn, v);
+                engine.telemetry_mut().set_enabled(true);
             }
         }
         if let Some((lpn, v)) = this_write {
@@ -233,9 +269,10 @@ pub fn replay(sc: &Scenario) -> Outcome {
     if !crashed {
         faults = engine.device().fault_stats();
     }
-    let delta = engine.device().stats().since(&start);
-    fitness.wa = delta.wa_breakdown(10.0).total();
-    fitness.retired_blocks = engine.block_manager().retired_blocks();
+    let end_metrics = engine.metrics();
+    fitness.max_write_us = fitness.max_write_us.max(host_write_max(&engine));
+    fitness.wa = wa_total(&end_metrics.since(&start_metrics), 10.0);
+    fitness.retired_blocks = end_metrics.counter("bm.retired_blocks") as usize;
     for (&l, &want) in &oracle {
         let got = engine.read(Lpn(l));
         if got != Some(want) {

@@ -38,6 +38,26 @@ pub mod smoke {
     }
 }
 
+/// Process-wide trace switch: `reproduce <exp> --trace out.json` makes the
+/// experiments that support it (currently `merge_latency`) record telemetry
+/// over the measured interval and export a Chrome Trace Event Format JSON
+/// timeline (load it in `chrome://tracing` / Perfetto).
+pub mod tracing {
+    use std::sync::OnceLock;
+
+    static PATH: OnceLock<String> = OnceLock::new();
+
+    /// Set the trace output path (set once, before experiments run).
+    pub fn set(path: &str) {
+        let _ = PATH.set(path.to_string());
+    }
+
+    /// The trace output path, if `--trace` was given.
+    pub fn path() -> Option<&'static str> {
+        PATH.get().map(|s| s.as_str())
+    }
+}
+
 pub use harness::{
     drive, fill_sequential, measure_uniform, sim_geometry, Driver, MeasuredInterval,
 };

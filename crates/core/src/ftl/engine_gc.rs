@@ -4,7 +4,7 @@
 use super::block_manager::BlockGroup;
 use super::{FtlEngine, GcPolicy};
 use crate::cache::CacheEntry;
-use flash_sim::{BlockId, IoPurpose, PageData, PageOffset, Ppn, SpareInfo};
+use flash_sim::{BlockId, IoPurpose, PageData, PageOffset, Ppn, SpanKind, SpareInfo};
 
 /// How many extra valid pages a planned (prefetched) burst victim may carry
 /// over the current greedy-best block before the plan is declared stale and
@@ -176,6 +176,7 @@ impl FtlEngine {
         // its valid count is 0).
         if let Some(victim) = self.bm.pick_victim(&self.dev, |_| true) {
             if self.bm.valid_pages(victim) == 0 {
+                let t0 = self.dev.clock().now_us();
                 if paranoid() {
                     self.paranoid_check_erasable(victim);
                 }
@@ -197,6 +198,10 @@ impl FtlEngine {
                     self.report_retired_block_stale(victim);
                 }
                 self.forget_invalidated_in(victim);
+                let now = self.dev.clock().now_us();
+                self.dev
+                    .telemetry_mut()
+                    .record_span(SpanKind::GcCollect, victim.0, t0, now);
                 return true;
             }
         }
@@ -266,6 +271,15 @@ impl FtlEngine {
     /// pages (skipping unidentified invalid pages via the §4.1 spare-check),
     /// report the erase, erase the block.
     pub(crate) fn collect_user_block(&mut self, victim: BlockId) {
+        let t0 = self.dev.clock().now_us();
+        self.collect_user_block_inner(victim);
+        let now = self.dev.clock().now_us();
+        self.dev
+            .telemetry_mut()
+            .record_span(SpanKind::GcCollect, victim.0, t0, now);
+    }
+
+    fn collect_user_block_inner(&mut self, victim: BlockId) {
         // Prefetched bitmap: snapshot taken at batch-query time, so
         // `gc_invalidated` (accumulating since then) must be kept. A cold
         // query re-snapshots here and may reset the set — but only when no
@@ -434,6 +448,7 @@ impl FtlEngine {
     /// migrate the translation pages that the GMD still points into this
     /// block, then erase it.
     fn collect_translation_block(&mut self, victim: BlockId) {
+        let t0 = self.dev.clock().now_us();
         let written = self.dev.written_pages(victim);
         let geo = self.geometry();
         for off in 0..written {
@@ -452,16 +467,25 @@ impl FtlEngine {
         }
         self.bm
             .erase_and_free(&mut self.dev, victim, IoPurpose::TranslationGc);
+        let now = self.dev.clock().now_us();
+        self.dev
+            .telemetry_mut()
+            .record_span(SpanKind::GcCollect, victim.0, t0, now);
     }
 
     /// Collect a metadata-block victim by delegating to the validity store
     /// (flash-resident PVB under the greedy policy), then erase it.
     fn collect_meta_block(&mut self, victim: BlockId) {
+        let t0 = self.dev.clock().now_us();
         self.backend
             .store()
             .collect_meta_block(&mut self.dev, &mut self.bm, victim);
         self.bm
             .erase_and_free(&mut self.dev, victim, IoPurpose::ValidityGc);
+        let now = self.dev.clock().now_us();
+        self.dev
+            .telemetry_mut()
+            .record_span(SpanKind::GcCollect, victim.0, t0, now);
     }
 
     pub(crate) fn current_epoch(&self) -> u64 {

@@ -20,6 +20,7 @@
 
 pub mod block_manager;
 mod engine_gc;
+pub mod metrics;
 
 pub use block_manager::{BlockGroup, BlockManager, BlockState};
 
@@ -27,7 +28,9 @@ use crate::cache::{CacheEntry, MappingCache};
 use crate::gecko::{GeckoConfig, LogGecko};
 use crate::translation::TranslationTable;
 use crate::validity::ValidityStore;
-use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, Lpn, PageData, Ppn, SpareInfo};
+use flash_sim::{
+    BlockId, FlashDevice, Geometry, IoPurpose, Lpn, PageData, Ppn, SpanKind, SpareInfo, Telemetry,
+};
 use std::collections::{HashMap, HashSet};
 
 /// Garbage-collection victim-selection policy (§4.2).
@@ -149,12 +152,16 @@ pub struct RamReport {
     /// The validity store's RAM state (PVB bitmap, run directories + merge
     /// buffers, PVL head pointers, ...).
     pub validity: u64,
+    /// Telemetry ring buffer + histograms (0 while telemetry is disabled).
+    /// Charged like any other engine RAM — an observer that keeps an event
+    /// ring in firmware RAM pays for it under a fig14-style budget.
+    pub telemetry: u64,
 }
 
 impl RamReport {
     /// Total integrated RAM in bytes.
     pub fn total(&self) -> u64 {
-        self.gmd + self.cache + self.bvc + self.validity
+        self.gmd + self.cache + self.bvc + self.validity + self.telemetry
     }
 }
 
@@ -332,7 +339,18 @@ impl FtlEngine {
             cache: self.cache.ram_bytes(),
             bvc: self.bm.bvc_ram_bytes(),
             validity: self.backend.store_ref().ram_bytes(),
+            telemetry: self.dev.telemetry().ram_bytes(),
         }
+    }
+
+    /// Telemetry sink carried by the device (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.dev.telemetry()
+    }
+
+    /// Mutable telemetry sink: enable recording before a measured phase.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        self.dev.telemetry_mut()
     }
 
     /// Simulate a power failure: all RAM-resident state is lost; only the
@@ -360,6 +378,15 @@ impl FtlEngine {
 
     /// Application write: store a new version of logical page `lpn`.
     pub fn write(&mut self, lpn: Lpn, version: u64) {
+        let t0 = self.dev.clock().now_us();
+        self.write_inner(lpn, version);
+        let now = self.dev.clock().now_us();
+        self.dev
+            .telemetry_mut()
+            .record_span(SpanKind::HostWrite, lpn.0, t0, now);
+    }
+
+    fn write_inner(&mut self, lpn: Lpn, version: u64) {
         assert!(
             self.geometry().contains_lpn(lpn),
             "write outside logical space: {lpn:?}"
@@ -448,6 +475,16 @@ impl FtlEngine {
     /// Application read: returns the stored version tag, or `None` if the
     /// page was never written.
     pub fn read(&mut self, lpn: Lpn) -> Option<u64> {
+        let t0 = self.dev.clock().now_us();
+        let version = self.read_inner(lpn);
+        let now = self.dev.clock().now_us();
+        self.dev
+            .telemetry_mut()
+            .record_span(SpanKind::HostRead, lpn.0, t0, now);
+        version
+    }
+
+    fn read_inner(&mut self, lpn: Lpn) -> Option<u64> {
         assert!(
             self.geometry().contains_lpn(lpn),
             "read outside logical space: {lpn:?}"

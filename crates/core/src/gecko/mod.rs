@@ -28,7 +28,7 @@ pub use run::{GeckoPagePayload, Postamble, Run, RunDirEntry, RunId, RunMeta};
 pub use scheduler::{FinishedMerge, JobInput, MergeJob, MergeScheduler};
 
 use crate::validity::{MetaSink, ValidityStore};
-use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, Ppn};
+use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, Ppn, SpanKind};
 use std::collections::{BTreeMap, HashSet};
 
 /// The Logarithmic Gecko structure: RAM buffer + run directories in RAM,
@@ -612,6 +612,8 @@ impl LogGecko {
             return;
         }
         self.stats.flushes += 1;
+        let span_t0 = dev.clock().now_us();
+        let span_entries = self.buffer.len() as u32;
         let v = self.buffer_capacity() as usize;
         // The watermark in effect before this flush began. Until the chunk
         // that *empties* the buffer is sealed, this is all any run written
@@ -673,6 +675,9 @@ impl LogGecko {
         }
         self.scratch.chunk = chunk;
         self.scratch.chunk_keys = chunk_keys;
+        let now = dev.clock().now_us();
+        dev.telemetry_mut()
+            .record_span(SpanKind::BufferFlush, span_entries, span_t0, now);
     }
 
     /// Plan due merges (§3.1, Appendix A): whenever a level holds two or
@@ -763,6 +768,8 @@ impl LogGecko {
         if self.sched.is_idle() {
             return false;
         }
+        let span_t0 = dev.clock().now_us();
+        let stepped_before = self.stats.merge_pages_stepped;
         let finished = self.sched.step_channels(
             dev,
             sink,
@@ -774,6 +781,10 @@ impl LogGecko {
         for done in finished {
             self.install_merge(dev, sink, done);
         }
+        let now = dev.clock().now_us();
+        let stepped = (self.stats.merge_pages_stepped - stepped_before) as u32;
+        dev.telemetry_mut()
+            .record_span(SpanKind::MergeSlice, stepped, span_t0, now);
         !self.sched.is_idle()
     }
 

@@ -34,7 +34,7 @@ use crate::ftl::block_manager::{BlockGroup, BlockManager, BlockState};
 use crate::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
 use crate::gecko::{GeckoConfig, GeckoPagePayload, LogGecko, Run, RunDirEntry, RunId, RunMeta};
 use crate::translation::{TranslationPagePayload, TranslationTable};
-use flash_sim::{BlockId, FlashDevice, IoPurpose, MetaKind, PageOffset, Ppn, SpareInfo};
+use flash_sim::{BlockId, FlashDevice, IoPurpose, MetaKind, PageOffset, Ppn, SpanKind, SpareInfo};
 use std::collections::{HashMap, HashSet};
 
 /// The eight steps of GeckoRec, for per-step cost reporting.
@@ -117,12 +117,19 @@ impl StepTimer {
         }
     }
 
-    fn stop(self, dev: &FlashDevice) -> StepCost {
-        let now = dev.stats().counts(IoPurpose::Recovery);
+    /// Close the step: compute its cost and record a `Recovery` telemetry
+    /// span for it (`step` is the 1-based GeckoRec step number). The span
+    /// duration is the *same subtraction* as `sim_us`, so the telemetry
+    /// accumulator reproduces `RecoveryReport::total_secs` exactly.
+    fn stop(self, dev: &mut FlashDevice, step: u32) -> StepCost {
+        let counts = dev.stats().counts(IoPurpose::Recovery);
+        let now_us = dev.clock().now_us();
+        dev.telemetry_mut()
+            .record_span(SpanKind::Recovery, step, self.start_us, now_us);
         StepCost {
-            spare_reads: now.spare_reads - self.start_counts.spare_reads,
-            page_reads: now.page_reads - self.start_counts.page_reads,
-            sim_us: dev.clock().now_us() - self.start_us,
+            spare_reads: counts.spare_reads - self.start_counts.spare_reads,
+            page_reads: counts.page_reads - self.start_counts.page_reads,
+            sim_us: now_us - self.start_us,
         }
     }
 }
@@ -139,6 +146,9 @@ pub fn gecko_recover(
 ) -> (FtlEngine, RecoveryReport) {
     let geo = dev.geometry();
     let mut report = RecoveryReport::default();
+    // A fresh recovery run: the telemetry accumulator (mirroring
+    // `RecoveryReport::total_secs`) restarts from zero.
+    dev.telemetry_mut().recovery_started();
 
     // ---- Step 1: BID — one spare read per non-empty block. -------------
     let timer = StepTimer::start(&dev);
@@ -179,7 +189,9 @@ pub fn gecko_recover(
             written,
         });
     }
-    report.steps.push((RecoveryStep::Bid, timer.stop(&dev)));
+    report
+        .steps
+        .push((RecoveryStep::Bid, timer.stop(&mut dev, 1)));
 
     // ---- Step 2: GMD — scan spare areas of all translation pages. ------
     let timer = StepTimer::start(&dev);
@@ -211,7 +223,9 @@ pub fn gecko_recover(
         .iter()
         .map(|v| v.last().map(|(_, ppn)| *ppn))
         .collect();
-    report.steps.push((RecoveryStep::Gmd, timer.stop(&dev)));
+    report
+        .steps
+        .push((RecoveryStep::Gmd, timer.stop(&mut dev, 2)));
 
     // ---- Step 3: run directories. ---------------------------------------
     let timer = StepTimer::start(&dev);
@@ -223,7 +237,7 @@ pub fn gecko_recover(
     let mut gecko = LogGecko::from_recovered(geo, gecko_cfg, runs);
     report
         .steps
-        .push((RecoveryStep::RunDirectories, timer.stop(&dev)));
+        .push((RecoveryStep::RunDirectories, timer.stop(&mut dev, 3)));
 
     // ---- Step 4: buffer. -------------------------------------------------
     let timer = StepTimer::start(&dev);
@@ -293,7 +307,9 @@ pub fn gecko_recover(
             }
         }
     }
-    report.steps.push((RecoveryStep::Buffer, timer.stop(&dev)));
+    report
+        .steps
+        .push((RecoveryStep::Buffer, timer.stop(&mut dev, 4)));
 
     // ---- Step 5: BVC. -----------------------------------------------------
     let timer = StepTimer::start(&dev);
@@ -325,7 +341,9 @@ pub fn gecko_recover(
             BlockGroup::Meta(_) => entry.written,
         };
     }
-    report.steps.push((RecoveryStep::Bvc, timer.stop(&dev)));
+    report
+        .steps
+        .push((RecoveryStep::Bvc, timer.stop(&mut dev, 5)));
 
     // ---- Step 6: dirty cached mapping entries. ----------------------------
     let timer = StepTimer::start(&dev);
@@ -441,7 +459,7 @@ pub fn gecko_recover(
     }
     report
         .steps
-        .push((RecoveryStep::DirtyEntries, timer.stop(&dev)));
+        .push((RecoveryStep::DirtyEntries, timer.stop(&mut dev, 6)));
 
     // ---- Step 8: reassemble and resume. -----------------------------------
     let mut bm = BlockManager::from_recovered(

@@ -16,7 +16,7 @@
 //! The appendix shows the scan keeps up as long as the fraction of non-static
 //! blocks `1/X` satisfies `X < B`, and degrades gracefully beyond.
 
-use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose};
+use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, SpanKind};
 
 /// Global wear statistics (the only RAM-resident wear state, ≈30–40 bytes).
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -86,6 +86,8 @@ impl WearLeveler {
     /// Advance the gradual scan: called once per application flash write,
     /// inspecting `scan_rate` blocks' spare areas (3 µs each).
     pub fn on_flash_write(&mut self, dev: &mut FlashDevice) {
+        let span_t0 = dev.clock().now_us();
+        let span_from = self.cursor;
         for _ in 0..self.scan_rate {
             let block = BlockId(self.cursor);
             // Reading the per-block wear attributes is a spare-area read.
@@ -114,6 +116,9 @@ impl WearLeveler {
                 self.acc_sum = 0;
             }
         }
+        let now = dev.clock().now_us();
+        dev.telemetry_mut()
+            .record_span(SpanKind::WearScan, span_from, span_t0, now);
     }
 
     /// Find a static-data candidate: a fully-written block whose erase count

@@ -7,6 +7,7 @@ use crate::geometry::{BlockId, Geometry, PageOffset, Ppn};
 use crate::latency::{LatencyModel, SimClock};
 use crate::page::{PageData, Spare, SpareInfo};
 use crate::stats::{IoPurpose, IoStats};
+use ftl_telemetry::{IoOp, Telemetry};
 
 /// A simulated NAND flash device.
 ///
@@ -42,6 +43,11 @@ pub struct FlashDevice {
     /// Snapshot captured by a torn-write or mid-erase power-cut fault; see
     /// [`crate::fault`] for the mechanism.
     crash_image: Option<Box<FlashDevice>>,
+    /// Observability sink: per-channel IO events and FTL spans. Disabled by
+    /// default (no allocations, no recording); purely observational — it
+    /// never advances the clock or touches stats, so enabling it cannot
+    /// change simulation outcomes.
+    telemetry: Telemetry,
 }
 
 impl FlashDevice {
@@ -69,6 +75,7 @@ impl FlashDevice {
             erases_attempted: 0,
             bad: vec![false; geo.blocks as usize],
             crash_image: None,
+            telemetry: Telemetry::default(),
         }
     }
 
@@ -100,11 +107,26 @@ impl FlashDevice {
     }
 
     /// Charge one operation's latency: onto the open overlap window's lane
-    /// for `block`'s channel, or straight onto the clock.
-    fn charge_us(&mut self, block: BlockId, purpose: IoPurpose, us: f64) {
+    /// for `block`'s channel, or straight onto the clock. The same charge
+    /// point records the operation as a telemetry channel-lane event, so a
+    /// trace's per-purpose duration sums reconcile with
+    /// [`IoStats::busy_us`] exactly.
+    fn charge_us(&mut self, block: BlockId, purpose: IoPurpose, op: IoOp, us: f64) {
         self.stats.record_busy_us(purpose, us);
+        let ch = self.geo.channel_of(block) as usize;
+        if self.telemetry.is_enabled() {
+            // Start time mirrors the clock semantics: inside an overlap
+            // window the operation begins after the work already queued on
+            // its channel's lane; outside, the clock itself is the start.
+            let start = match &self.overlap_lanes {
+                Some(lanes) => self.clock.now_us() + lanes[ch],
+                None => self.clock.now_us(),
+            };
+            self.telemetry
+                .record_io(purpose.index() as u8, op, ch as u16, start, us);
+        }
         match &mut self.overlap_lanes {
-            Some(lanes) => lanes[self.geo.channel_of(block) as usize] += us,
+            Some(lanes) => lanes[ch] += us,
             None => self.clock.advance_us(us),
         }
     }
@@ -138,6 +160,16 @@ impl FlashDevice {
     /// Mutable statistics (the FTL bumps `logical_writes` here).
     pub fn stats_mut(&mut self) -> &mut IoStats {
         &mut self.stats
+    }
+
+    /// Telemetry sink (disabled by default).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Mutable telemetry sink: enable recording, record FTL spans.
+    pub fn telemetry_mut(&mut self) -> &mut Telemetry {
+        &mut self.telemetry
     }
 
     /// Current global write sequence number ("device timestamp").
@@ -195,7 +227,7 @@ impl FlashDevice {
             // service; writes aimed at an already-bad block always fail.
             self.bad[block.0 as usize] = true;
             self.fault_stats.program_failures += 1;
-            self.charge_us(block, purpose, self.latency.page_write_us);
+            self.charge_us(block, purpose, IoOp::PageWrite, self.latency.page_write_us);
             return Err(FlashError::ProgramFailed(block));
         }
         let seq = self.bump_seq();
@@ -213,7 +245,7 @@ impl FlashDevice {
         }
         let off = self.blocks[block.0 as usize].append(block, data, Spare { seq, info })?;
         self.stats.record_page_write(purpose);
-        self.charge_us(block, purpose, self.latency.page_write_us);
+        self.charge_us(block, purpose, IoOp::PageWrite, self.latency.page_write_us);
         Ok(self.geo.ppn(block, off))
     }
 
@@ -225,7 +257,7 @@ impl FlashDevice {
         let page = self.blocks[block.0 as usize].page(off);
         let data = page.data.clone().ok_or(FlashError::PageNotWritten(ppn))?;
         self.stats.record_page_read(purpose);
-        self.charge_us(block, purpose, self.latency.page_read_us);
+        self.charge_us(block, purpose, IoOp::PageRead, self.latency.page_read_us);
         Ok(data)
     }
 
@@ -238,7 +270,7 @@ impl FlashDevice {
         let page = self.blocks[block.0 as usize].page(off);
         let spare = page.spare.ok_or(FlashError::PageNotWritten(ppn))?;
         self.stats.record_spare_read(purpose);
-        self.charge_us(block, purpose, self.latency.spare_read_us);
+        self.charge_us(block, purpose, IoOp::SpareRead, self.latency.spare_read_us);
         Ok(spare)
     }
 
@@ -257,7 +289,7 @@ impl FlashDevice {
         if self.bad[block.0 as usize] || fault == Some(EraseFault::Fail) {
             self.bad[block.0 as usize] = true;
             self.fault_stats.erase_failures += 1;
-            self.charge_us(block, purpose, self.latency.erase_us);
+            self.charge_us(block, purpose, IoOp::Erase, self.latency.erase_us);
             return Err(FlashError::EraseFailed(block));
         }
         if let Some(budget) = self.erase_budget {
@@ -268,7 +300,7 @@ impl FlashDevice {
         let seq = self.bump_seq();
         self.blocks[block.0 as usize].erase(seq);
         self.stats.record_erase(purpose);
-        self.charge_us(block, purpose, self.latency.erase_us);
+        self.charge_us(block, purpose, IoOp::Erase, self.latency.erase_us);
         if fault == Some(EraseFault::Crash) {
             let mut image = self.clone();
             image.fault = FaultPlan::default();
@@ -730,6 +762,89 @@ mod tests {
         d.erase_block(BlockId(1), IoPurpose::WearLevel).unwrap();
         let _ = d.erase_block(BlockId(5), IoPurpose::WearLevel);
         assert_eq!(d.erase_attempts(), 2);
+    }
+
+    #[test]
+    fn telemetry_io_events_reconcile_with_busy_us() {
+        use ftl_telemetry::TraceEvent;
+        let geo = Geometry::tiny().with_channels(4);
+        let mut d = FlashDevice::with_latency(geo, LatencyModel::paper());
+        d.telemetry_mut().enable(1024);
+        let mut ppns = Vec::new();
+        for b in 0..4 {
+            ppns.push(write_user(&mut d, b, b, 1));
+        }
+        d.begin_overlap();
+        for &p in &ppns {
+            d.read_page(p, IoPurpose::ValidityMerge).unwrap();
+        }
+        d.end_overlap();
+        d.read_spare(ppns[0], IoPurpose::Recovery).unwrap();
+        d.erase_block(BlockId(5), IoPurpose::GcMigrateUser).unwrap();
+        // Summing event durations per purpose reproduces busy_us exactly
+        // (events are recorded at the same point the busy time is charged).
+        for p in IoPurpose::ALL {
+            let summed: f64 = d
+                .telemetry()
+                .events()
+                .filter_map(|e| match *e {
+                    TraceEvent::Io {
+                        purpose, dur_us, ..
+                    } if purpose as usize == p.index() => Some(dur_us as f64),
+                    _ => None,
+                })
+                .sum();
+            assert!(
+                (summed - d.stats().busy_us(p)).abs() < 1e-9,
+                "purpose {}: events {} vs busy_us {}",
+                p.label(),
+                summed,
+                d.stats().busy_us(p)
+            );
+        }
+        // Inside the overlap window the four reads start together (distinct
+        // channels), and per-channel events never overlap.
+        let mut per_channel: Vec<Vec<(f64, f64)>> = vec![Vec::new(); 4];
+        for e in d.telemetry().events() {
+            if let TraceEvent::Io {
+                channel,
+                start_us,
+                dur_us,
+                ..
+            } = *e
+            {
+                per_channel[channel as usize].push((start_us, start_us + dur_us as f64));
+            }
+        }
+        for lane in &per_channel {
+            for w in lane.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].1 - 1e-9,
+                    "channel-lane events must not overlap: {w:?}"
+                );
+            }
+        }
+        // Telemetry observed but never perturbed the simulation.
+        assert!((d.clock().now_us() - (4.0 * 1000.0 + 100.0 + 3.0 + 2000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crash_image_telemetry_is_the_precrash_prefix() {
+        let mut d = dev();
+        d.telemetry_mut().enable(64);
+        d.set_fault_plan(FaultPlan::new().on_write(1, WriteFault::TornData));
+        write_user(&mut d, 0, 1, 1);
+        let events_before_fault = d.telemetry().events().count();
+        write_user(&mut d, 0, 2, 1); // torn: image cloned before this IO lands
+        write_user(&mut d, 0, 3, 1);
+        let image = d.take_crash_image().unwrap();
+        assert!(image.telemetry().is_enabled(), "image keeps recording");
+        assert_eq!(
+            image.telemetry().events().count(),
+            events_before_fault,
+            "image history stops at the power cut"
+        );
+        assert_eq!(d.telemetry().events().count(), 3);
     }
 
     #[test]

@@ -67,7 +67,9 @@ impl IoPurpose {
         IoPurpose::Fill,
     ];
 
-    fn index(self) -> usize {
+    /// Stable dense index of this purpose (the order of the internal
+    /// accounting arrays; also the purpose code telemetry IO events carry).
+    pub fn index(self) -> usize {
         match self {
             IoPurpose::UserWrite => 0,
             IoPurpose::UserRead => 1,

@@ -1,0 +1,178 @@
+//! Chrome Trace Event Format exporter.
+//!
+//! Produces the JSON object format understood by `chrome://tracing` and
+//! Perfetto: `{"traceEvents": [...]}` with `ph:"X"` complete events whose
+//! `ts`/`dur` are in microseconds — conveniently, exactly the simulated
+//! clock's unit.
+//!
+//! Timeline layout:
+//!
+//! * `pid 0` — **flash channels**: one `tid` per channel, one `X` event
+//!   per device IO (named by its purpose, `args.op` = operation kind).
+//!   Summing `dur` per purpose over these lanes reproduces
+//!   `IoStats::busy_us` exactly.
+//! * `pid 1` — **FTL spans**: one `tid` per [`SpanKind`] lane, one `X`
+//!   event per closed span.
+
+use crate::sink::{SpanKind, TraceEvent};
+use crate::Telemetry;
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_meta(out: &mut String, pid: u32, tid: Option<u32>, what: &str, name: &str) {
+    out.push_str("  {\"ph\":\"M\",\"pid\":");
+    out.push_str(&pid.to_string());
+    if let Some(tid) = tid {
+        out.push_str(",\"tid\":");
+        out.push_str(&tid.to_string());
+    }
+    out.push_str(",\"name\":\"");
+    escape_into(out, what);
+    out.push_str("\",\"args\":{\"name\":\"");
+    escape_into(out, name);
+    out.push_str("\"}},\n");
+}
+
+/// Render the telemetry's recorded events as a Chrome Trace Event Format
+/// JSON document. `purpose_labels` maps IO purpose indices (as passed to
+/// [`Telemetry::record_io`]) to display names; out-of-range indices fall
+/// back to `purpose_<n>`.
+pub fn chrome_trace_json(t: &Telemetry, purpose_labels: &[&str]) -> String {
+    let mut out = String::with_capacity(256 + t.events().count() * 96);
+    out.push_str("{\"traceEvents\":[\n");
+
+    // Metadata: name the two processes and every lane that has events.
+    push_meta(&mut out, 0, None, "process_name", "flash channels");
+    push_meta(&mut out, 1, None, "process_name", "ftl spans");
+    let mut channels_seen: Vec<u16> = Vec::new();
+    let mut lanes_seen: Vec<SpanKind> = Vec::new();
+    for ev in t.events() {
+        match *ev {
+            TraceEvent::Io { channel, .. } => {
+                if !channels_seen.contains(&channel) {
+                    channels_seen.push(channel);
+                }
+            }
+            TraceEvent::Span { kind, .. } => {
+                if !lanes_seen.contains(&kind) {
+                    lanes_seen.push(kind);
+                }
+            }
+        }
+    }
+    channels_seen.sort_unstable();
+    for &ch in &channels_seen {
+        push_meta(
+            &mut out,
+            0,
+            Some(ch as u32),
+            "thread_name",
+            &format!("channel {ch}"),
+        );
+    }
+    lanes_seen.sort_by_key(|k| k.index());
+    for &kind in &lanes_seen {
+        push_meta(
+            &mut out,
+            1,
+            Some(kind.index() as u32),
+            "thread_name",
+            kind.label(),
+        );
+    }
+
+    let mut first = true;
+    for ev in t.events() {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        match *ev {
+            TraceEvent::Io {
+                purpose,
+                op,
+                channel,
+                start_us,
+                dur_us,
+            } => {
+                let label = purpose_labels
+                    .get(purpose as usize)
+                    .copied()
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("purpose_{purpose}"));
+                out.push_str("  {\"name\":\"");
+                escape_into(&mut out, &label);
+                out.push_str(&format!(
+                    "\",\"cat\":\"io\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":0,\"tid\":{},\"args\":{{\"op\":\"{}\"}}}}",
+                    start_us,
+                    dur_us as f64,
+                    channel,
+                    op.label()
+                ));
+            }
+            TraceEvent::Span {
+                kind,
+                arg,
+                start_us,
+                dur_us,
+            } => {
+                out.push_str("  {\"name\":\"");
+                escape_into(&mut out, kind.label());
+                out.push_str(&format!(
+                    "\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"arg\":{}}}}}",
+                    start_us,
+                    dur_us as f64,
+                    kind.index(),
+                    arg
+                ));
+            }
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped_events\":");
+    out.push_str(&t.dropped_events().to_string());
+    out.push_str(",\"total_events\":");
+    out.push_str(&t.total_events().to_string());
+    out.push_str("}}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_chrome_trace;
+    use crate::sink::IoOp;
+
+    #[test]
+    fn exported_trace_passes_own_validator() {
+        let mut t = Telemetry::default();
+        t.enable(64);
+        t.record_io(0, IoOp::PageWrite, 2, 0.0, 1000.0);
+        t.record_io(3, IoOp::PageRead, 1, 1000.0, 100.0);
+        t.record_span(SpanKind::HostWrite, 0, 0.0, 1100.0);
+        let json = chrome_trace_json(&t, &["user_write", "user_read", "gc", "translation_sync"]);
+        let summary = validate_chrome_trace(&json).expect("valid trace");
+        assert_eq!(summary.complete_events, 3);
+        assert_eq!(summary.channel_lanes, 2);
+        assert_eq!(summary.span_lanes, 1);
+        assert_eq!(summary.dropped_events, 0);
+    }
+
+    #[test]
+    fn empty_trace_fails_validation() {
+        let t = Telemetry::default();
+        let json = chrome_trace_json(&t, &[]);
+        assert!(validate_chrome_trace(&json).is_err());
+    }
+}

@@ -1,0 +1,254 @@
+//! Streaming log-bucketed latency histograms (HDR-style).
+//!
+//! Replaces the per-experiment "collect every sample into a `Vec<f64>`,
+//! sort, index" percentile helpers: memory is constant (one preallocated
+//! bucket array) and recording is O(1) per sample.
+//!
+//! Layout: bucket 0 holds values below 1 µs; above that, 64 octaves
+//! (powers of two) of 64 linear sub-buckets each, giving a worst-case
+//! relative quantile error of `1/(2·64)` ≈ 0.8 %. Exact `count`, `sum`,
+//! `min` and `max` are tracked alongside, so `mean()` and `max()` are
+//! exact — the fuzz harness's `max_write_us` fitness signal depends on
+//! that exactness.
+
+const SUB_BITS: usize = 6;
+/// Linear sub-buckets per octave.
+const SUB: usize = 1 << SUB_BITS;
+/// Number of power-of-two octaves covered (values up to 2^64 µs).
+const OCTAVES: usize = 64;
+/// Total buckets: one underflow bucket + the octave grid.
+const NBUCKETS: usize = 1 + OCTAVES * SUB;
+
+/// A streaming histogram over non-negative `f64` samples (microseconds by
+/// convention, but unit-agnostic).
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: Box<[u64; NBUCKETS]>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (allocates its fixed bucket array once).
+    pub fn new() -> Self {
+        Histogram {
+            buckets: Box::new([0u64; NBUCKETS]),
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        if v < 1.0 || v.is_nan() {
+            // Below 1 (including 0 and any non-finite garbage): underflow
+            // bucket. Latencies here are ≥ the 3 µs spare-read, except the
+            // legitimate zeros of "no stall" samples.
+            return 0;
+        }
+        let e = (v.log2().floor() as i64).clamp(0, OCTAVES as i64 - 1) as usize;
+        let base = (2f64).powi(e as i32);
+        let sub = (((v / base) - 1.0) * SUB as f64) as usize;
+        1 + e * SUB + sub.min(SUB - 1)
+    }
+
+    fn representative(idx: usize) -> f64 {
+        if idx == 0 {
+            return 0.0;
+        }
+        let e = (idx - 1) / SUB;
+        let sub = (idx - 1) % SUB;
+        (2f64).powi(e as i32) * (1.0 + (sub as f64 + 0.5) / SUB as f64)
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: f64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact sum of all samples.
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Exact smallest sample (0 on an empty histogram).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact largest sample (0 on an empty histogram).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Exact mean (0 on an empty histogram).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate quantile with the same rank convention the experiments'
+    /// sort-based helper used: the sample at rank `round((n-1)·q)` of the
+    /// sorted sample vector. The returned value is the mid-point of that
+    /// rank's bucket, clamped into `[min, max]` — so `quantile(0.0)` and
+    /// `quantile(1.0)` are exact, interior quantiles carry the ≤ 0.8 %
+    /// bucket error.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen > rank {
+                return Self::representative(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Bytes of the preallocated bucket array (the histogram's RAM charge).
+    pub fn ram_bytes(&self) -> u64 {
+        (NBUCKETS * std::mem::size_of::<u64>()) as u64 + std::mem::size_of::<Self>() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sort-based quantile the experiments used before the shared
+    /// histogram existed — kept here as the reference for equivalence.
+    fn sort_quantile(samples: &[f64], q: f64) -> f64 {
+        let mut s = samples.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let idx = ((s.len() - 1) as f64 * q).round() as usize;
+        s[idx.min(s.len() - 1)]
+    }
+
+    /// Fixed deterministic sample set: a pinched log-normal-ish mix that
+    /// looks like the merge-latency experiment's write latencies (a dense
+    /// body around 1–2 ms, a long stall tail, and zero-stall samples).
+    fn pinned_samples() -> Vec<f64> {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut v = Vec::with_capacity(10_000);
+        for i in 0..10_000u32 {
+            let u = next();
+            let s = if i % 10 == 0 {
+                0.0 // "no stall" samples
+            } else if u < 0.9 {
+                1000.0 + next() * 1200.0
+            } else {
+                // tail: up to ~200 ms
+                3000.0 * (1.0 + next() * 65.0)
+            };
+            v.push(s);
+        }
+        v
+    }
+
+    #[test]
+    fn pinned_equivalence_with_sort_based_quantiles() {
+        let samples = pinned_samples();
+        let mut h = Histogram::new();
+        for &s in &samples {
+            h.record(s);
+        }
+        for q in [0.0, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            let exact = sort_quantile(&samples, q);
+            let approx = h.quantile(q);
+            let tol = exact.abs() * 0.01 + 1e-9;
+            assert!(
+                (approx - exact).abs() <= tol,
+                "q={q}: histogram {approx} vs sorted {exact}"
+            );
+        }
+        // Aggregates are exact, not approximate.
+        let sum: f64 = samples.iter().sum();
+        assert_eq!(h.count(), samples.len() as u64);
+        assert_eq!(h.sum(), sum);
+        assert_eq!(
+            h.max(),
+            samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        );
+        assert_eq!(h.min(), 0.0);
+        assert_eq!(h.mean(), sum / samples.len() as f64);
+    }
+
+    #[test]
+    fn latency_model_constants_round_trip_exactly() {
+        // Device latencies are a tiny fixed set; every one must come back
+        // exactly from min/max even though buckets quantize.
+        for v in [3.0, 100.0, 1000.0, 2000.0] {
+            let mut h = Histogram::new();
+            h.record(v);
+            assert_eq!(h.max(), v);
+            assert_eq!(h.quantile(0.5), v, "singleton clamps to [min,max]");
+        }
+    }
+
+    #[test]
+    fn empty_histogram_is_well_defined() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.99), 0.0);
+        assert_eq!(h.max(), 0.0);
+        assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn bucket_edges_are_monotone() {
+        let mut last = 0;
+        for v in [0.0, 0.5, 1.0, 1.01, 1.99, 2.0, 3.0, 4.0, 1e6, 1e18] {
+            let idx = Histogram::bucket_index(v);
+            assert!(idx >= last, "index must be monotone in value (v={v})");
+            assert!(idx < NBUCKETS);
+            last = idx;
+        }
+    }
+}

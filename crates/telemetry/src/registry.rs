@@ -1,0 +1,137 @@
+//! Named metrics registry with snapshot/delta semantics.
+//!
+//! Unifies the ad-hoc stats structs (`IoStats`, `GeckoStats`, `FaultStats`,
+//! `WearStats`, engine counters) behind one namespace of counters and
+//! gauges, generalizing the snapshot/`since` pattern `IoStats` already
+//! uses. Producers *collect into* a [`MetricsSnapshot`]; consumers diff
+//! two snapshots and read named values.
+//!
+//! Naming scheme (`docs/OBSERVABILITY.md`): dotted lowercase paths,
+//! `<component>.<metric>`, e.g. `io.user_write.page_writes`,
+//! `gecko.merge_stall_drains`, `span.host_write.max_us`.
+
+use std::collections::BTreeMap;
+
+/// One registered value: a monotone counter or a point-in-time gauge.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// Monotonically increasing integer (diffs by subtraction).
+    Counter(u64),
+    /// Instantaneous floating-point reading (diffs by subtraction).
+    Gauge(f64),
+}
+
+/// A frozen set of named metrics; also used to represent deltas between
+/// two snapshots (the `IoStats::since` pattern).
+#[derive(Clone, Debug, Default)]
+pub struct MetricsSnapshot {
+    entries: BTreeMap<String, MetricValue>,
+}
+
+impl MetricsSnapshot {
+    /// An empty snapshot for producers to collect into.
+    pub fn new() -> Self {
+        MetricsSnapshot::default()
+    }
+
+    /// Register/overwrite a counter.
+    pub fn set_counter(&mut self, name: &str, value: u64) {
+        self.entries
+            .insert(name.to_string(), MetricValue::Counter(value));
+    }
+
+    /// Register/overwrite a gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.entries
+            .insert(name.to_string(), MetricValue::Gauge(value));
+    }
+
+    /// Counter value by name (0 when absent or registered as a gauge).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Gauge value by name (0.0 when absent; counters read as their value
+    /// cast to `f64` so reports can treat everything as numeric).
+    pub fn gauge(&self, name: &str) -> f64 {
+        match self.entries.get(name) {
+            Some(MetricValue::Gauge(v)) => *v,
+            Some(MetricValue::Counter(v)) => *v as f64,
+            None => 0.0,
+        }
+    }
+
+    /// Whether a metric of any type is registered under `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.entries.contains_key(name)
+    }
+
+    /// Delta of this snapshot relative to an `earlier` one: counters
+    /// subtract saturating, gauges subtract; names absent from `earlier`
+    /// diff against zero. Name order is stable (sorted), so reports built
+    /// from a delta are deterministic.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::new();
+        for (name, value) in &self.entries {
+            let diffed = match (value, earlier.entries.get(name)) {
+                (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                    MetricValue::Counter(now.saturating_sub(*then))
+                }
+                (MetricValue::Gauge(now), Some(MetricValue::Gauge(then))) => {
+                    MetricValue::Gauge(now - then)
+                }
+                (v, _) => *v,
+            };
+            out.entries.insert(name.clone(), diffed);
+        }
+        out
+    }
+
+    /// Iterate `(name, value)` in sorted name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta_matches_io_stats_pattern() {
+        let mut t0 = MetricsSnapshot::new();
+        t0.set_counter("io.user_write.page_writes", 10);
+        t0.set_gauge("io.user_write.busy_us", 10_000.0);
+        let mut t1 = MetricsSnapshot::new();
+        t1.set_counter("io.user_write.page_writes", 25);
+        t1.set_gauge("io.user_write.busy_us", 25_000.0);
+        t1.set_counter("bm.retired_blocks", 1);
+        let d = t1.since(&t0);
+        assert_eq!(d.counter("io.user_write.page_writes"), 15);
+        assert_eq!(d.gauge("io.user_write.busy_us"), 15_000.0);
+        assert_eq!(d.counter("bm.retired_blocks"), 1, "absent diffs vs zero");
+        assert_eq!(d.counter("no.such.metric"), 0);
+    }
+
+    #[test]
+    fn iteration_is_name_sorted() {
+        let mut m = MetricsSnapshot::new();
+        m.set_counter("z.last", 1);
+        m.set_counter("a.first", 2);
+        let names: Vec<&str> = m.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["a.first", "z.last"]);
+    }
+}

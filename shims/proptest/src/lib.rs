@@ -122,7 +122,7 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(u16, u32, usize);
+impl_range_strategy!(u8, u16, u32, usize);
 
 impl Strategy for Range<u64> {
     type Value = u64;
