@@ -122,9 +122,10 @@ pub fn build_with(kind: BaselineKind, geo: Geometry, cfg: FtlConfig) -> FtlEngin
 }
 
 /// Build GeckoFTL with an explicit Gecko tuning (Figures 9–12 sweeps).
+/// Honors [`GeckoConfig::shards`]: `shards > 1` builds the per-channel
+/// sharded validity store instead of a single tree.
 pub fn build_geckoftl_tuned(geo: Geometry, cfg: FtlConfig, gecko_cfg: GeckoConfig) -> FtlEngine {
-    let gecko = LogGecko::new(geo, gecko_cfg);
-    FtlEngine::format(geo, cfg, ValidityBackend::Gecko(gecko))
+    FtlEngine::format(geo, cfg, ValidityBackend::gecko_for(geo, gecko_cfg))
 }
 
 /// A "flash-PVB only" store builder for §5.1's apples-to-apples comparison

@@ -6,6 +6,7 @@
 //! reproduce list               # what exists
 //! reproduce all --csv out/     # also write CSV files
 //! reproduce merge_latency --smoke   # CI-sized run, no JSON rewrite
+//! reproduce merge_latency --smoke --shards 4   # per-channel sharded store
 //! reproduce merge_latency --trace trace.json   # Chrome Trace timeline
 //! reproduce check-trace trace.json  # validate a trace file (CI)
 //! ```
@@ -29,6 +30,14 @@ fn main() {
                 ));
             }
             "--smoke" => gecko_bench::smoke::set(true),
+            "--shards" => {
+                i += 1;
+                let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--shards needs a positive integer");
+                    std::process::exit(2);
+                });
+                gecko_bench::shards::set(n);
+            }
             "--trace" => {
                 i += 1;
                 gecko_bench::tracing::set(args.get(i).map(String::as_str).unwrap_or("trace.json"));
@@ -52,7 +61,10 @@ fn main() {
         i += 1;
     }
     if slugs.is_empty() {
-        eprintln!("usage: reproduce <all|list|check-trace|slug...> [--csv dir] [--trace file]");
+        eprintln!(
+            "usage: reproduce <all|list|check-trace|slug...> \
+             [--csv dir] [--trace file] [--shards n]"
+        );
         eprintln!("run `reproduce list` to see the experiments");
         std::process::exit(2);
     }

@@ -67,6 +67,9 @@ fn gecko_cfg(sync_merge: bool) -> GeckoConfig {
         page_header_bytes: 4096 - 256,
         sync_merge,
         merge_step_pages: 4,
+        // `reproduce ... --shards N` splits the validity store into N
+        // per-channel trees (N = channels aligns shard and channel).
+        shards: crate::shards::get().unwrap_or(1),
         ..GeckoConfig::paper_default(&geometry())
     }
 }
@@ -182,7 +185,7 @@ fn run_variant(
     }
 
     let snap = engine.device().stats().snapshot();
-    let gecko_before = engine.backend().gecko().expect("gecko backend").stats;
+    let gecko_before = engine.backend().gecko_stats().expect("gecko backend");
     if trace.is_some() {
         // The ring must hold every IO event of the measured window for the
         // per-channel lanes to reconcile with busy_us (≈ a few IO events
@@ -221,11 +224,33 @@ fn run_variant(
     }
     let wall_secs = started.elapsed().as_secs_f64();
     let delta = engine.device().stats().since(&snap);
-    let gecko_after = engine.backend().gecko().expect("gecko backend").stats;
+    let gecko_after = engine.backend().gecko_stats().expect("gecko backend");
     if let Some(path) = trace {
         export_trace(path, &engine, &delta);
         engine.telemetry_mut().set_enabled(false); // shutdown IO is not part of the window
     }
+
+    // Idle-starvation regression guard: a bounded idle period must drain
+    // the entire merge backlog. Each idle tick is a multi-slice quantum
+    // (8 slices per channel), so the debt left by the measured burst
+    // drains orders of magnitude faster than the old one-slice-per-tick
+    // behavior, which merely kept pace with planning and starved deep
+    // merges through every idle gap.
+    let backlog_pages = |e: &geckoftl_core::ftl::FtlEngine| e.backend().merge_backlog_pages();
+    let debt = backlog_pages(&engine);
+    let quantum = 8 * geo.channels as u64 * gecko_cfg(sync_merge).merge_step_pages.max(1) as u64;
+    // Slack: installs during the drain can cascade-plan further merges.
+    let allowed = 4 * debt.div_ceil(quantum) + 16;
+    let mut ticks = 0u64;
+    while engine.idle_tick() {
+        ticks += 1;
+        assert!(
+            ticks <= allowed,
+            "idle quanta must drain merge debt ({debt} pages due, still {} after {ticks})",
+            backlog_pages(&engine)
+        );
+    }
+    assert_eq!(backlog_pages(&engine), 0, "idle loop ended with merge debt");
 
     // Quiesce (sync dirty entries, flush + drain merges), then audit.
     engine.shutdown_clean();
@@ -307,6 +332,7 @@ fn emit_json(sync: &VariantResult, inc: &VariantResult, measured_writes: usize) 
             "  \"workload\": \"mixed 25% reads, zipf(0.99) updates, {} measured writes\",\n",
             "  \"geometry\": \"{}\",\n",
             "  \"merge_step_pages\": {},\n",
+            "  \"shards\": {},\n",
             "  \"metric\": \"per-write simulated latency (us), sync vs incremental merges\",\n",
             "  \"variants\": {{\n",
             "    \"sync_merge\": {},\n",
@@ -321,6 +347,7 @@ fn emit_json(sync: &VariantResult, inc: &VariantResult, measured_writes: usize) 
         measured_writes,
         geo_str,
         gecko_cfg(false).merge_step_pages,
+        gecko_cfg(false).shards,
         json_variant(sync),
         json_variant(inc),
         pct(sync.lat.quantile(0.99), inc.lat.quantile(0.99)),
@@ -349,11 +376,17 @@ pub fn run() -> Vec<Table> {
     // The incremental variant is the one worth a timeline: its merge slices
     // overlap across channels, which is exactly what the per-channel lanes
     // of the Chrome trace make visible.
+    let shards = gecko_cfg(false).shards;
     let inc = run_variant(
         format!(
-            "incremental (step={}, {}ch)",
+            "incremental (step={}, {}ch{})",
             gecko_cfg(false).merge_step_pages,
-            geometry().channels
+            geometry().channels,
+            if shards > 1 {
+                format!(", {shards} shards")
+            } else {
+                String::new()
+            }
         ),
         false,
         measured_writes,
@@ -418,14 +451,25 @@ mod tests {
                 .unwrap()
         };
         let (p99_sync, p99_inc) = (cell("sync", 3), cell("incremental", 3));
-        let (max_sync, max_inc) = (cell("sync", 5), cell("incremental", 5));
+        let (p999_sync, p999_inc) = (cell("sync", 4), cell("incremental", 4));
         assert!(
             p99_inc < p99_sync,
             "incremental must cut p99 write latency: {p99_inc} vs {p99_sync}"
         );
+        // The single max write is not asserted (one sample: a GC burst
+        // landing on merge debt can spike either variant); the p99.9 tail
+        // is the robust claim.
         assert!(
-            max_inc < max_sync,
-            "incremental must cut max write latency: {max_inc} vs {max_sync}"
+            p999_inc < p999_sync,
+            "incremental must cut p99.9 write latency: {p999_inc} vs {p999_sync}"
+        );
+        // Forced drains are the stall bug this scheduler exists to avoid:
+        // they must stay rare relative to merges completed.
+        let drains: f64 = cell("incremental", 11);
+        let merges: f64 = cell("incremental", 10);
+        assert!(
+            drains <= 0.10 * merges,
+            "forced stall drains must stay ≤10% of merges: {drains} of {merges}"
         );
         // The merge-stall component — what the scheduler actually moves off
         // the critical path — must shrink sharply at the tail. (The single

@@ -31,7 +31,7 @@ use flash_sim::{FaultPlan, FaultStats, FlashDevice, Geometry, Lpn, SpanKind};
 use ftl_workloads::WorkloadOp;
 use geckoftl_core::ftl::metrics::wa_total;
 use geckoftl_core::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
-use geckoftl_core::gecko::{GeckoConfig, LogGecko};
+use geckoftl_core::gecko::GeckoConfig;
 use geckoftl_core::recovery::gecko_recover;
 use std::collections::BTreeMap;
 
@@ -80,7 +80,7 @@ impl Outcome {
     }
 }
 
-fn engine_for(sc: &Scenario) -> FtlEngine {
+fn engine_for(sc: &Scenario, shards: u32) -> FtlEngine {
     let geo = Geometry::tiny();
     let cfg = FtlConfig {
         // Clamp into what the tiny geometry's over-provisioning allows
@@ -91,14 +91,12 @@ fn engine_for(sc: &Scenario) -> FtlEngine {
         recovery: RecoveryPolicy::CheckpointDeferred,
         checkpoint_period: None,
     };
-    let gecko = LogGecko::new(
-        geo,
-        GeckoConfig {
-            page_header_bytes: geo.page_bytes - 64, // force real flush/merge activity
-            ..GeckoConfig::paper_default(&geo)
-        },
-    );
-    let mut engine = FtlEngine::format(geo, cfg, ValidityBackend::Gecko(gecko));
+    let gecko_cfg = GeckoConfig {
+        page_header_bytes: geo.page_bytes - 64, // force real flush/merge activity
+        shards,
+        ..GeckoConfig::paper_default(&geo)
+    };
+    let mut engine = FtlEngine::format(geo, cfg, ValidityBackend::gecko_for(geo, gecko_cfg));
     engine.telemetry_mut().enable(REPLAY_RING);
     engine
 }
@@ -165,10 +163,17 @@ fn verify_recovered(
 /// Replay one scenario end-to-end. Deterministic: same scenario, same
 /// outcome, bit for bit.
 pub fn replay(sc: &Scenario) -> Outcome {
-    let mut engine = engine_for(sc);
+    replay_with_shards(sc, 1)
+}
+
+/// [`replay`] against a validity store sharded `shards` ways (1 = the
+/// single-tree layout). The oracle contract is shard-count-independent, so
+/// the corpus doubles as a crash-equivalence suite for the sharded store.
+pub fn replay_with_shards(sc: &Scenario, shards: u32) -> Outcome {
+    let mut engine = engine_for(sc, shards);
     let logical = engine.geometry().logical_pages() as u32;
     let cfg = engine.config();
-    let gecko_cfg = engine.backend().gecko().expect("gecko backend").config();
+    let gecko_cfg = engine.backend().gecko_config().expect("gecko backend");
     engine.with_raw_parts(|dev, _| dev.set_fault_plan(sc.fault_plan()));
     let start_metrics = engine.metrics();
 
@@ -304,6 +309,11 @@ pub fn replay(sc: &Scenario) -> Outcome {
 /// Replay every committed corpus scenario; returns `(file name, outcome)`
 /// pairs. Used by the corpus regression test and the `fuzz` experiment.
 pub fn replay_corpus() -> Vec<(String, Outcome)> {
+    replay_corpus_with_shards(1)
+}
+
+/// [`replay_corpus`] with a sharded validity store.
+pub fn replay_corpus_with_shards(shards: u32) -> Vec<(String, Outcome)> {
     let dir = corpus_dir();
     let mut entries: Vec<_> = match std::fs::read_dir(&dir) {
         Ok(rd) => rd
@@ -325,7 +335,7 @@ pub fn replay_corpus() -> Vec<(String, Outcome)> {
                 .unwrap_or_else(|e| panic!("read corpus entry {path:?}: {e}"));
             let sc = Scenario::from_text(&text)
                 .unwrap_or_else(|e| panic!("parse corpus entry {path:?}: {e}"));
-            (name, replay(&sc))
+            (name, replay_with_shards(&sc, shards))
         })
         .collect()
 }

@@ -58,6 +58,29 @@ pub mod tracing {
     }
 }
 
+/// Process-wide shard override: `reproduce <exp> --shards N` runs the
+/// experiments that support it (currently `merge_latency`) with the
+/// validity store split into N per-channel Gecko trees instead of one.
+/// 0 (the default) means "use the experiment's own configuration".
+pub mod shards {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    static SHARDS: AtomicU32 = AtomicU32::new(0);
+
+    /// Set the shard-count override (set once, before experiments run).
+    pub fn set(n: u32) {
+        SHARDS.store(n, Ordering::Relaxed);
+    }
+
+    /// The `--shards` override, if one was given.
+    pub fn get() -> Option<u32> {
+        match SHARDS.load(Ordering::Relaxed) {
+            0 => None,
+            n => Some(n),
+        }
+    }
+}
+
 pub use harness::{
     drive, fill_sequential, measure_uniform, sim_geometry, Driver, MeasuredInterval,
 };

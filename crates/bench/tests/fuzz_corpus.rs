@@ -1,0 +1,34 @@
+//! Corpus regression: every committed fuzz scenario must replay clean —
+//! under the single-tree validity store and under the channel-sharded one.
+//! The corpus doubles as the crash-equivalence suite for sharding: each
+//! scenario carries a workload trace, a device fault plan and a crash
+//! point, and the sharded engine must survive all of them exactly as the
+//! single tree does (acknowledged writes read back, audits pass).
+
+use gecko_bench::fuzz::replay::replay_corpus_with_shards;
+
+#[test]
+fn corpus_replays_clean_single_tree() {
+    let outcomes = replay_corpus_with_shards(1);
+    assert!(!outcomes.is_empty(), "committed corpus must not be empty");
+    for (name, out) in outcomes {
+        assert!(
+            out.ok,
+            "corpus entry {name} failed (shards=1): {}",
+            out.failure.unwrap_or_default()
+        );
+    }
+}
+
+#[test]
+fn corpus_replays_clean_sharded() {
+    for shards in [2u32, 4] {
+        for (name, out) in replay_corpus_with_shards(shards) {
+            assert!(
+                out.ok,
+                "corpus entry {name} failed (shards={shards}): {}",
+                out.failure.unwrap_or_default()
+            );
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! A thread-safe front-end over [`FtlEngine`]: a `&self` read path for
+//! host threads plus a background worker that drains merge slices and
+//! stages GC plans off the host path.
+//!
+//! # Structure
+//!
+//! The simulated device is inherently single-threaded (every IO advances
+//! the shared clock), so the engine itself sits behind one [`Mutex`] and
+//! host operations serialize on it. What the front-end adds:
+//!
+//! * **A lock-free-ish read path.** Completed writes are published into
+//!   per-LPN-range *publish tables* — `shards` independent
+//!   `RwLock<HashMap<Lpn, u64>>`, shard = `lpn % shards` — so
+//!   [`ConcurrentFtl::read_published`] answers read-your-writes queries
+//!   with only a shard read lock, never touching the engine lock. This is
+//!   the sharded-LRU pattern scaled down to the simulator: the publish
+//!   table plays the role of the translation cache's read-mostly tier,
+//!   and writers update exactly one shard.
+//! * **A maintenance worker.** A background thread repeatedly `try_lock`s
+//!   the engine and, when the host side is not using it, donates idle
+//!   quanta ([`FtlEngine::idle_tick`]) and stages the next GC burst
+//!   ([`FtlEngine::prepare_gc`]). `try_lock` (not `lock`) keeps the
+//!   worker from ever making a host op wait longer than one bounded
+//!   quantum.
+//!
+//! # Lock order
+//!
+//! Engine lock → publish-table shard lock, never the reverse; the worker
+//! takes only the engine lock. See `docs/CONCURRENCY.md` for the full
+//! ordering and the per-channel time-domain rules.
+
+use super::FtlEngine;
+use flash_sim::Lpn;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+use std::thread::JoinHandle;
+
+/// Shared state between the front-end handle and the worker thread.
+struct Shared {
+    engine: Mutex<FtlEngine>,
+    /// Published `lpn → version`, sharded by `lpn % shards.len()`.
+    published: Vec<RwLock<HashMap<Lpn, u64>>>,
+    stop: AtomicBool,
+    /// Background idle quanta donated by the worker (telemetry).
+    worker_quanta: AtomicU64,
+}
+
+impl Shared {
+    fn shard_of(&self, lpn: Lpn) -> usize {
+        (lpn.0 as usize) % self.published.len()
+    }
+}
+
+/// Thread-safe engine front-end. Cloneable-by-`Arc` handles are obtained
+/// from [`ConcurrentFtl::new`]; the worker stops when the front-end drops.
+pub struct ConcurrentFtl {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl ConcurrentFtl {
+    /// Wrap an engine. `read_shards` sizes the publish tables (one
+    /// `RwLock` per LPN-range shard; a few × the writer-thread count is
+    /// plenty). `with_worker` starts the background maintenance thread.
+    pub fn new(engine: FtlEngine, read_shards: usize, with_worker: bool) -> Self {
+        let shared = Arc::new(Shared {
+            engine: Mutex::new(engine),
+            published: (0..read_shards.max(1))
+                .map(|_| RwLock::new(HashMap::new()))
+                .collect(),
+            stop: AtomicBool::new(false),
+            worker_quanta: AtomicU64::new(0),
+        });
+        let worker = with_worker.then(|| {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_loop(&shared))
+        });
+        ConcurrentFtl { shared, worker }
+    }
+
+    /// Host write: serialize on the engine, then publish the new version
+    /// to the LPN's shard so concurrent `&self` readers observe it.
+    pub fn write(&self, lpn: Lpn, version: u64) {
+        let mut engine = self.lock_engine();
+        engine.write(lpn, version);
+        drop(engine); // engine lock → shard lock, and release eagerly
+        let shard = self.shared.shard_of(lpn);
+        self.shared.published[shard]
+            .write()
+            .expect("publish shard poisoned")
+            .insert(lpn, version);
+    }
+
+    /// `&self` read path: the latest *published* version of `lpn`, from
+    /// the LPN-shard table alone — no engine lock, no simulated IO.
+    /// `None` if no write to `lpn` has been published (the caller falls
+    /// back to [`ConcurrentFtl::read`]).
+    pub fn read_published(&self, lpn: Lpn) -> Option<u64> {
+        let shard = self.shared.shard_of(lpn);
+        self.shared.published[shard]
+            .read()
+            .expect("publish shard poisoned")
+            .get(&lpn)
+            .copied()
+    }
+
+    /// Full read through the engine (charges simulated IO, consults the
+    /// device). The authoritative path; also publishes the result so the
+    /// next `read_published` of this LPN hits.
+    pub fn read(&self, lpn: Lpn) -> Option<u64> {
+        let version = self.lock_engine().read(lpn);
+        if let Some(v) = version {
+            let shard = self.shared.shard_of(lpn);
+            self.shared.published[shard]
+                .write()
+                .expect("publish shard poisoned")
+                .insert(lpn, v);
+        }
+        version
+    }
+
+    /// Run a closure under the engine lock (stats, checkpoints, anything
+    /// the thin wrappers above don't cover).
+    pub fn with_engine<R>(&self, f: impl FnOnce(&mut FtlEngine) -> R) -> R {
+        f(&mut self.lock_engine())
+    }
+
+    /// Idle quanta the background worker has donated so far.
+    pub fn worker_quanta(&self) -> u64 {
+        self.shared.worker_quanta.load(Ordering::Relaxed)
+    }
+
+    /// Stop the worker and take the engine back out.
+    pub fn into_engine(mut self) -> FtlEngine {
+        self.stop_worker();
+        let shared = Arc::clone(&self.shared);
+        drop(self); // releases the front-end's strong reference
+        Arc::try_unwrap(shared)
+            .ok()
+            .expect("all other handles dropped")
+            .engine
+            .into_inner()
+            .expect("engine lock poisoned")
+    }
+
+    fn lock_engine(&self) -> MutexGuard<'_, FtlEngine> {
+        self.shared.engine.lock().expect("engine lock poisoned")
+    }
+
+    fn stop_worker(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        if let Some(h) = self.worker.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ConcurrentFtl {
+    fn drop(&mut self) {
+        self.stop_worker();
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        // try_lock: never queue behind (and thus delay) a host op.
+        let Ok(mut engine) = shared.engine.try_lock() else {
+            std::thread::yield_now();
+            continue;
+        };
+        let more = engine.idle_tick();
+        engine.prepare_gc();
+        drop(engine);
+        shared.worker_quanta.fetch_add(1, Ordering::Relaxed);
+        if !more {
+            // Nothing due: park briefly instead of spinning on the lock.
+            std::thread::sleep(std::time::Duration::from_micros(50));
+        }
+    }
+}

@@ -89,7 +89,7 @@ impl FtlEngine {
     /// one pass over the store instead of a per-victim round trip.
     pub(crate) fn maybe_gc(&mut self) {
         while self.bm.free_blocks() < self.cfg.gc_free_threshold {
-            self.prefetch_victim_bitmaps();
+            self.plan_gc_burst();
             if self.collect_once() {
                 // Long GC bursts tick the checkpoint clock (migrations are
                 // user-page writes); honor the period between victims so
@@ -118,36 +118,53 @@ impl FtlEngine {
         self.gc_plan.clear();
     }
 
-    /// Batch-query the validity bitmaps of this burst's likely victims.
+    /// Plan the next GC burst ahead of need (victim ranking + bitmap
+    /// prefetch), without collecting anything. Background maintenance hook
+    /// for [`super::concurrent::ConcurrentFtl`]'s worker: the prefetch IO
+    /// moves off the host write that would otherwise trigger it. No-op if
+    /// a plan is already staged or the free pool is healthy.
+    pub fn prepare_gc(&mut self) {
+        self.plan_gc_burst();
+    }
+
+    /// Rank this burst's likely victims into `gc_plan`, and — on the
+    /// fast-path Gecko backend — batch-query their validity bitmaps.
     ///
-    /// Soundness: a prefetched bitmap is a snapshot at batch-query time.
-    /// Pages it reports invalid can never become valid again before the
-    /// victim is erased (victims are full, non-active blocks), and pages
-    /// invalidated *after* the snapshot — by syncs that collections of
-    /// earlier victims trigger — are tracked in `gc_invalidated`, which
-    /// [`FtlEngine::collect_user_block`] consults per page. Both the
-    /// prefetched bitmap and the block's `gc_invalidated` entries are
-    /// dropped the moment the block is erased, so a block that is later
-    /// reallocated and refilled can never be judged by stale state.
+    /// The plan is built for **every** Gecko backend, fast path and
+    /// linear-scan baseline alike. Victim selection must not depend on the
+    /// query implementation under ablation: the clustered ranking breaks
+    /// greedy's ties differently than per-collection [`BlockManager::pick_victim`],
+    /// so planning only on the fast path made the A/B variants collect
+    /// different victim sequences — and, eventually, different GC
+    /// operation *counts* — from identical workloads. Only the batched
+    /// prefetch is a fast-path optimization: for every other store
+    /// `gc_query_batch` degrades to a per-victim loop, so prefetching
+    /// could only *add* wasted reads for victims that are never collected.
     ///
-    /// Only the fast-path Gecko backend prefetches: for every other store
-    /// (and for Gecko's pre-optimization A/B baseline) `gc_query_batch`
-    /// degrades to a per-victim loop, so prefetching could only *add*
-    /// wasted reads for victims that are never collected — it would
-    /// distort the baseline FTLs' validity-IO numbers for no gain.
-    fn prefetch_victim_bitmaps(&mut self) {
-        if !self.gc_prefetch.is_empty() {
+    /// Soundness of the prefetch: a prefetched bitmap is a snapshot at
+    /// batch-query time. Pages it reports invalid can never become valid
+    /// again before the victim is erased (victims are full, non-active
+    /// blocks), and pages invalidated *after* the snapshot — by syncs that
+    /// collections of earlier victims trigger — are tracked in
+    /// `gc_invalidated`, which [`FtlEngine::collect_user_block`] consults
+    /// per page. Both the prefetched bitmap and the block's
+    /// `gc_invalidated` entries are dropped the moment the block is
+    /// erased, so a block that is later reallocated and refilled can never
+    /// be judged by stale state.
+    fn plan_gc_burst(&mut self) {
+        if !self.gc_plan.is_empty() || !self.gc_prefetch.is_empty() {
             return;
         }
-        if !self.backend.gecko().is_some_and(|g| g.config().fast_path) {
-            return;
-        }
+        let Some(cfg) = self.backend.gecko_config() else {
+            return; // non-Gecko stores keep plain greedy order
+        };
+        let fast_path = cfg.fast_path;
         let deficit = self
             .cfg
             .gc_free_threshold
             .saturating_sub(self.bm.free_blocks());
         if deficit < 2 {
-            return; // a single collection gains nothing from batching
+            return; // a single collection gains nothing from planning
         }
         let victims = self
             .bm
@@ -155,15 +172,15 @@ impl FtlEngine {
         if victims.len() < 2 {
             return;
         }
-        self.gc_invalidated.clear();
-        let bitmaps = self
-            .backend
-            .store()
-            .gc_query_batch(&mut self.dev, &mut self.bm, &victims);
-        // Remember the clustered ranking as the burst's collection plan, so
-        // the prefetched bitmaps are the ones actually consumed.
         self.gc_plan = victims.iter().copied().collect();
-        self.gc_prefetch = victims.into_iter().zip(bitmaps).collect();
+        if fast_path {
+            self.gc_invalidated.clear();
+            let bitmaps =
+                self.backend
+                    .store()
+                    .gc_query_batch(&mut self.dev, &mut self.bm, &victims);
+            self.gc_prefetch = victims.into_iter().zip(bitmaps).collect();
+        }
     }
 
     /// Pick and collect one victim block. Returns false if no block has any
@@ -181,7 +198,13 @@ impl FtlEngine {
                     self.paranoid_check_erasable(victim);
                 }
                 self.counters.gc_operations += 1;
+                self.gc_victim_log.push(victim);
+                // A planned victim may drain to 0-valid before its turn:
+                // it is consumed here, so drop it from the plan too (not
+                // just the prefetch map), or the burst's remaining plan
+                // order silently skips one slot.
                 self.gc_prefetch.remove(&victim);
+                self.gc_plan.retain(|b| *b != victim);
                 let is_user = self.bm.group_of(victim) == Some(BlockGroup::User);
                 if is_user {
                     // Erase markers still need to supersede older validity
@@ -220,10 +243,9 @@ impl FtlEngine {
         // honoring it there would bias the greedy ablation).
         if policy == GcPolicy::MetadataAware {
             while let Some(planned) = self.gc_plan.pop_front() {
-                if self.gc_prefetch.contains_key(&planned)
-                    && self
-                        .bm
-                        .is_victim_eligible(&self.dev, planned, |g| g == BlockGroup::User)
+                if self
+                    .bm
+                    .is_victim_eligible(&self.dev, planned, |g| g == BlockGroup::User)
                 {
                     // Margin guard: the plan was ranked from a snapshot, and
                     // invalidations since then can make a non-planned block
@@ -245,9 +267,13 @@ impl FtlEngine {
                         break;
                     }
                     self.counters.gc_operations += 1;
+                    self.gc_victim_log.push(planned);
                     self.collect_user_block(planned);
                     return true;
                 }
+                // Ineligible (e.g. erased as 0-valid earlier in the burst):
+                // drop its bitmap so plan and prefetch stay in lockstep.
+                self.gc_prefetch.remove(&planned);
             }
         }
         let victim = self.bm.pick_victim(&self.dev, |group| match policy {
@@ -259,6 +285,7 @@ impl FtlEngine {
         });
         let Some(victim) = victim else { return false };
         self.counters.gc_operations += 1;
+        self.gc_victim_log.push(victim);
         match self.bm.group_of(victim).expect("victim is allocated") {
             BlockGroup::User => self.collect_user_block(victim),
             BlockGroup::Translation => self.collect_translation_block(victim),

@@ -45,18 +45,20 @@ impl FtlEngine {
         m.set_counter("engine.gc_migrations", c.gc_migrations);
         m.set_counter("engine.gc_uip_skips", c.gc_uip_skips);
 
-        if let Some(g) = self.backend.gecko() {
-            let s = g.stats;
-            m.set_counter("gecko.buffer_inserts", s.buffer_inserts);
-            m.set_counter("gecko.flushes", s.flushes);
-            m.set_counter("gecko.merges", s.merges);
-            m.set_counter("gecko.queries", s.queries);
-            m.set_counter("gecko.batch_queries", s.batch_queries);
-            m.set_counter("gecko.entries_dropped", s.entries_dropped);
-            m.set_counter("gecko.bloom_skips", s.bloom_skips);
-            m.set_counter("gecko.fence_probes", s.fence_probes);
-            m.set_counter("gecko.merge_pages_stepped", s.merge_pages_stepped);
-            m.set_counter("gecko.merge_stall_drains", s.merge_stall_drains);
+        if let Some(s) = self.backend.gecko_stats() {
+            gecko_stats_into(&mut m, "gecko", &s);
+        }
+        // A sharded store additionally reports each shard tree under
+        // `gecko.shard<N>.*` (the aggregate above stays the primary series;
+        // see docs/OBSERVABILITY.md).
+        if let Some(sharded) = self.backend.sharded() {
+            for (i, tree) in sharded.shard_trees().iter().enumerate() {
+                gecko_stats_into(&mut m, &format!("gecko.shard{i}"), &tree.stats);
+                m.set_gauge(
+                    &format!("gecko.shard{i}.merge_backlog_pages"),
+                    tree.merge_backlog_pages() as f64,
+                );
+            }
         }
 
         let f = self.dev.fault_stats();
@@ -79,6 +81,27 @@ impl FtlEngine {
         m.set_gauge("recovery.last_us", (t.recovery_raw_us() / 1e6) * 1e6);
         m
     }
+}
+
+/// Register one [`crate::gecko::GeckoStats`] under a name prefix (`gecko`
+/// for the aggregate, `gecko.shard<N>` per shard of a sharded store).
+fn gecko_stats_into(m: &mut MetricsSnapshot, prefix: &str, s: &crate::gecko::GeckoStats) {
+    m.set_counter(&format!("{prefix}.buffer_inserts"), s.buffer_inserts);
+    m.set_counter(&format!("{prefix}.flushes"), s.flushes);
+    m.set_counter(&format!("{prefix}.merges"), s.merges);
+    m.set_counter(&format!("{prefix}.queries"), s.queries);
+    m.set_counter(&format!("{prefix}.batch_queries"), s.batch_queries);
+    m.set_counter(&format!("{prefix}.entries_dropped"), s.entries_dropped);
+    m.set_counter(&format!("{prefix}.bloom_skips"), s.bloom_skips);
+    m.set_counter(&format!("{prefix}.fence_probes"), s.fence_probes);
+    m.set_counter(
+        &format!("{prefix}.merge_pages_stepped"),
+        s.merge_pages_stepped,
+    );
+    m.set_counter(
+        &format!("{prefix}.merge_stall_drains"),
+        s.merge_stall_drains,
+    );
 }
 
 /// Fold wear-leveling statistics into a snapshot. The [`WearStats`] live in

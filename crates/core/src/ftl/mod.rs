@@ -19,15 +19,17 @@
 //! differences purely to the three axes above (see DESIGN.md).
 
 pub mod block_manager;
+pub mod concurrent;
 mod engine_gc;
 pub mod metrics;
 
 pub use block_manager::{BlockGroup, BlockManager, BlockState};
+pub use concurrent::ConcurrentFtl;
 
 use crate::cache::{CacheEntry, MappingCache};
-use crate::gecko::{GeckoConfig, LogGecko};
+use crate::gecko::{GeckoConfig, LogGecko, ShardedGecko};
 use crate::translation::TranslationTable;
-use crate::validity::ValidityStore;
+use crate::validity::{MetaSink, ValidityStore};
 use flash_sim::{
     BlockId, FlashDevice, Geometry, IoPurpose, Lpn, PageData, Ppn, SpanKind, SpareInfo, Telemetry,
 };
@@ -107,17 +109,31 @@ impl FtlConfig {
 // its reusable scratch buffers) and the boxed baselines is irrelevant.
 #[allow(clippy::large_enum_variant)]
 pub enum ValidityBackend {
-    /// Logarithmic Gecko (GeckoFTL).
+    /// Logarithmic Gecko (GeckoFTL), one tree for the whole device.
     Gecko(LogGecko),
+    /// Logarithmic Gecko split into per-channel trees
+    /// ([`crate::gecko::ShardedGecko`]), pumped concurrently.
+    Sharded(ShardedGecko),
     /// Any other validity store (RAM/flash PVB, PVL).
     External(Box<dyn ValidityStore>),
 }
 
 impl ValidityBackend {
+    /// Build the Gecko-family backend `cfg` asks for: a single tree when
+    /// `cfg.shards == 1`, a per-channel sharded store otherwise.
+    pub fn gecko_for(geo: Geometry, cfg: GeckoConfig) -> Self {
+        if cfg.shards > 1 {
+            ValidityBackend::Sharded(ShardedGecko::new(geo, cfg))
+        } else {
+            ValidityBackend::Gecko(LogGecko::new(geo, cfg))
+        }
+    }
+
     /// The store as a trait object.
     pub fn store(&mut self) -> &mut dyn ValidityStore {
         match self {
             ValidityBackend::Gecko(g) => g,
+            ValidityBackend::Sharded(s) => s,
             ValidityBackend::External(s) => s.as_mut(),
         }
     }
@@ -126,15 +142,95 @@ impl ValidityBackend {
     pub fn store_ref(&self) -> &dyn ValidityStore {
         match self {
             ValidityBackend::Gecko(g) => g,
+            ValidityBackend::Sharded(s) => s,
             ValidityBackend::External(s) => s.as_ref(),
         }
     }
 
-    /// The Logarithmic Gecko instance, if this is a Gecko backend.
+    /// The single-tree Logarithmic Gecko instance, if this is one.
     pub fn gecko(&self) -> Option<&LogGecko> {
         match self {
             ValidityBackend::Gecko(g) => Some(g),
+            _ => None,
+        }
+    }
+
+    /// The sharded Gecko store, if this is one.
+    pub fn sharded(&self) -> Option<&ShardedGecko> {
+        match self {
+            ValidityBackend::Sharded(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this is a Gecko-family backend (single-tree or sharded) —
+    /// the backends with flush watermarks, merge schedulers and the
+    /// recovery protocol of Appendix C.
+    pub fn is_gecko(&self) -> bool {
+        !matches!(self, ValidityBackend::External(_))
+    }
+
+    /// The Gecko configuration, for either Gecko-family backend.
+    pub fn gecko_config(&self) -> Option<GeckoConfig> {
+        match self {
+            ValidityBackend::Gecko(g) => Some(g.config()),
+            ValidityBackend::Sharded(s) => Some(s.config()),
             ValidityBackend::External(_) => None,
+        }
+    }
+
+    /// Aggregated Gecko lifetime counters (summed over shards).
+    pub fn gecko_stats(&self) -> Option<crate::gecko::GeckoStats> {
+        match self {
+            ValidityBackend::Gecko(g) => Some(g.stats),
+            ValidityBackend::Sharded(s) => Some(s.stats()),
+            ValidityBackend::External(_) => None,
+        }
+    }
+
+    /// The Gecko flush watermark: for a sharded store, the *minimum* over
+    /// shards — the conservative bound under which every shard's buffered
+    /// reports are durable (protection clearing and recovery both need
+    /// all-shards durability, not any-shard).
+    pub fn last_flush_seq(&self) -> Option<u64> {
+        match self {
+            ValidityBackend::Gecko(g) => Some(g.last_flush_seq()),
+            ValidityBackend::Sharded(s) => Some(s.last_flush_seq()),
+            ValidityBackend::External(_) => None,
+        }
+    }
+
+    /// Pending incremental merge work in page-IOs (0 for non-Gecko).
+    pub fn merge_backlog_pages(&self) -> u64 {
+        match self {
+            ValidityBackend::Gecko(g) => g.merge_backlog_pages(),
+            ValidityBackend::Sharded(s) => s.merge_backlog_pages(),
+            ValidityBackend::External(_) => 0,
+        }
+    }
+
+    /// Merge jobs queued or in flight (0 for non-Gecko).
+    pub fn merge_jobs_pending(&self) -> usize {
+        match self {
+            ValidityBackend::Gecko(g) => g.merge_jobs_pending(),
+            ValidityBackend::Sharded(s) => s.merge_jobs_pending(),
+            ValidityBackend::External(_) => 0,
+        }
+    }
+
+    /// Advance pending merge work by one bounded slice (per shard, for a
+    /// sharded store — the shards' slices overlap on their channels).
+    /// Returns `true` while work remains; `false` for non-Gecko backends.
+    pub fn pump_merges(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+        budget: u64,
+    ) -> bool {
+        match self {
+            ValidityBackend::Gecko(g) => g.pump_merges(dev, sink, budget),
+            ValidityBackend::Sharded(s) => s.pump_merges(dev, sink, budget),
+            ValidityBackend::External(_) => false,
         }
     }
 }
@@ -185,12 +281,18 @@ pub struct FtlEngine {
     /// Victim bitmaps prefetched by a batched validity query at the start
     /// of a GC burst; consumed (and invalidated) as victims are collected.
     pub(crate) gc_prefetch: HashMap<BlockId, crate::gecko::Bitmap>,
-    /// The prefetched burst's planned collection order (the clustered
-    /// ranking of [`BlockManager::pick_victims`]); consumed by
-    /// [`FtlEngine::collect_once`] so the collected victims are the ones
-    /// whose bitmaps were actually prefetched. Entries are re-validated
-    /// against current eligibility before use.
+    /// The burst's planned collection order (the clustered ranking of
+    /// [`BlockManager::pick_victims`]); consumed by
+    /// [`FtlEngine::collect_once`]. Built for every Gecko backend — fast
+    /// path and linear-scan baseline alike — so the A/B pair collects the
+    /// same victim sequence; the fast path additionally prefetches the
+    /// planned victims' bitmaps into `gc_prefetch`. Entries are
+    /// re-validated against current eligibility before use.
     pub(crate) gc_plan: std::collections::VecDeque<BlockId>,
+    /// Every GC victim collected, in collection order. Cheap simulator
+    /// bookkeeping used to pin the fast path and the linear-scan baseline
+    /// to identical victim sequences in tests and benches.
+    pub gc_victim_log: Vec<BlockId>,
     /// Lifetime op counters.
     pub counters: EngineCounters,
 }
@@ -263,6 +365,7 @@ impl FtlEngine {
             gc_invalidated: HashSet::new(),
             gc_prefetch: HashMap::new(),
             gc_plan: std::collections::VecDeque::new(),
+            gc_victim_log: Vec::new(),
             counters: EngineCounters::default(),
         }
     }
@@ -279,7 +382,7 @@ impl FtlEngine {
         backend: ValidityBackend,
         cfg: FtlConfig,
     ) -> Self {
-        let last_flush_seen = backend.gecko().map_or(0, |g| g.last_flush_seq());
+        let last_flush_seen = backend.last_flush_seq().unwrap_or(0);
         FtlEngine {
             dev,
             bm,
@@ -293,6 +396,7 @@ impl FtlEngine {
             gc_invalidated: HashSet::new(),
             gc_prefetch: HashMap::new(),
             gc_plan: std::collections::VecDeque::new(),
+            gc_victim_log: Vec::new(),
             counters: EngineCounters::default(),
         }
     }
@@ -415,22 +519,40 @@ impl FtlEngine {
     }
 
     /// Advance pending incremental Gecko merge work by one bounded step,
-    /// charged to the current operation. The write path's piggybacked slice
-    /// is the same unit of work as an idle slice; only the occasion differs.
+    /// charged to the current operation: every host op pays at most
+    /// `merge_step_pages` of merge IO inline.
     fn pump_merge_slice(&mut self) {
-        self.idle_tick();
+        if let Some(cfg) = self.backend.gecko_config() {
+            if !cfg.sync_merge {
+                self.backend
+                    .pump_merges(&mut self.dev, &mut self.bm, cfg.merge_step_pages as u64);
+            }
+        }
     }
 
-    /// Donate one idle-time slice to background maintenance: advances
-    /// pending incremental merge work by one bounded step (the other half
-    /// of the scheduler's charging policy — merge IO is paid either
-    /// piggybacked on writes or during idle periods). Returns `true` while
-    /// more background work remains, so idle loops can keep ticking.
+    /// Donate one idle-time *quantum* to background maintenance: pump the
+    /// due-merge backlog slice by slice until it is drained or the
+    /// quantum's page budget (several slices, scaled to the channel count)
+    /// is spent. Returns `true` while more background work remains, so
+    /// idle loops can keep ticking.
+    ///
+    /// An idle tick is deliberately bigger than the write path's
+    /// piggybacked slice: when idle ticks advanced the scheduler by one
+    /// slice each, a workload whose idle gaps were sized in ticks (as the
+    /// bench traces are) merely kept pace with newly planned work, and the
+    /// deep-merge backlog accumulated during bursts was never drained —
+    /// idle-period starvation that concentrated into forced stalls later.
     pub fn idle_tick(&mut self) -> bool {
-        if let ValidityBackend::Gecko(g) = &mut self.backend {
-            let cfg = g.config();
+        if let Some(cfg) = self.backend.gecko_config() {
             if !cfg.sync_merge {
-                return g.pump_merges(&mut self.dev, &mut self.bm, cfg.merge_step_pages as u64);
+                let slice = cfg.merge_step_pages as u64;
+                let budget_slices = 8 * self.dev.geometry().channels.max(1) as u64;
+                for _ in 0..budget_slices {
+                    if !self.backend.pump_merges(&mut self.dev, &mut self.bm, slice) {
+                        return false;
+                    }
+                }
+                return true;
             }
         }
         false
@@ -597,7 +719,7 @@ impl FtlEngine {
         // *before* the synchronize call marks the old version obsolete —
         // otherwise its block can become empty and be erased on the spot,
         // leaving a gap in the version chain recovery diffs.
-        if matches!(self.backend, ValidityBackend::Gecko(_)) {
+        if self.backend.is_gecko() {
             if let Some(old) = self.tt.tpage_location(tpage) {
                 self.bm.protect(self.geometry().block_of(old));
             }
@@ -789,10 +911,9 @@ impl FtlEngine {
     /// (App. C.2.2: "When Logarithmic Gecko's buffer is flushed, we clear
     /// the list").
     fn after_validity_op(&mut self) {
-        let Some(g) = self.backend.gecko() else {
+        let Some(flushed) = self.backend.last_flush_seq() else {
             return;
         };
-        let flushed = g.last_flush_seq();
         if flushed > self.last_flush_seen {
             self.last_flush_seen = flushed;
             for block in self.bm.clear_protection() {

@@ -43,6 +43,14 @@ pub struct GeckoConfig {
     /// distinct flash channels within a step overlap in simulated time.
     /// Ignored when [`GeckoConfig::sync_merge`] is true. Must be ≥ 1.
     pub merge_step_pages: u32,
+    /// Number of independent Gecko trees the validity store is split into.
+    /// Block `b` belongs to shard `b % shards`, which is exactly
+    /// [`flash_sim::Geometry::channel_of`] when `shards == channels`: each
+    /// shard's merge queue then holds jobs for one channel and the shards
+    /// can be pumped concurrently inside one device overlap window. `1`
+    /// (the default) keeps the single-tree layout and is the A/B baseline
+    /// the sharded layout is property-tested against. Must be ≥ 1.
+    pub shards: u32,
 }
 
 impl Default for GeckoConfig {
@@ -60,6 +68,7 @@ impl Default for GeckoConfig {
             fast_path: true,
             sync_merge: false,
             merge_step_pages: 4,
+            shards: 1,
         }
     }
 }
@@ -107,6 +116,14 @@ impl GeckoConfig {
         assert!(
             self.merge_step_pages >= 1,
             "an incremental merge step must make progress (merge_step_pages ≥ 1)"
+        );
+        assert!(
+            self.shards >= 1,
+            "the validity store needs at least 1 shard"
+        );
+        assert!(
+            self.shards <= geo.blocks,
+            "cannot have more shards than blocks"
         );
     }
 

@@ -19,6 +19,7 @@ pub mod entry;
 pub mod filter;
 pub mod run;
 pub mod scheduler;
+pub mod sharded;
 
 pub use analysis::GeckoCostModel;
 pub use config::GeckoConfig;
@@ -26,6 +27,7 @@ pub use entry::{Bitmap, GeckoEntry, GeckoKey};
 pub use filter::RunFilter;
 pub use run::{GeckoPagePayload, Postamble, Run, RunDirEntry, RunId, RunMeta};
 pub use scheduler::{FinishedMerge, JobInput, MergeJob, MergeScheduler};
+pub use sharded::ShardedGecko;
 
 use crate::validity::{MetaSink, ValidityStore};
 use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, Ppn, SpanKind};
@@ -38,8 +40,10 @@ pub struct LogGecko {
     cfg: GeckoConfig,
     geo: Geometry,
     buffer: BTreeMap<GeckoKey, GeckoEntry>,
-    /// `levels[i]` holds the runs at level i, oldest first (so `.rev()` is
-    /// newest-first query order).
+    /// `levels[i]` holds the runs at level i, oldest first. Query order is
+    /// **not** positional: traversals sort runs by [`RunMeta::data_age`]
+    /// descending, because with merge jobs overlapping, neither level nor
+    /// in-level position implies data age (see [`LogGecko::runs_newest_first`]).
     levels: Vec<Vec<Run>>,
     /// Device sequence number at the most recent buffer flush (0 if never
     /// flushed). Recovery's buffer reconstruction (App. C.2) keys off this.
@@ -99,9 +103,11 @@ pub struct GeckoStats {
     /// Flash page-IOs performed by incremental merge steps (reads of
     /// participant pages + writes of output pages), including forced drains.
     pub merge_pages_stepped: u64,
-    /// Forced synchronous drains: a flush (or shutdown) found merge work
-    /// still pending and ran the remainder inline — the bounded residue of
-    /// taking merges off the write path.
+    /// Forced synchronous drains: a caller needing quiescence (clean
+    /// shutdown, recovery, tests) found merge work still pending and ran
+    /// the remainder inline. Flushes no longer drain — plan-time run-id
+    /// reservation and span-contiguous planning let pushes proceed with
+    /// jobs in flight ([`scheduler`] invariant 4).
     pub merge_stall_drains: u64,
 }
 
@@ -166,10 +172,17 @@ impl LogGecko {
         self.last_flush_seq
     }
 
-    /// All live runs, newest data first (level ascending, newest-first
-    /// within each level) — the traversal order of GC queries.
+    /// All live runs, newest data first (descending
+    /// [`RunMeta::data_age`]) — the traversal order of GC queries. With
+    /// merge jobs overlapping, level order no longer implies data-age
+    /// order: a late-planned job over fresh flushes can install its output
+    /// deeper than an earlier job's output over older runs. Live spans are
+    /// pairwise disjoint ([`scheduler`] invariant 4), so the sort is a
+    /// total order on data age.
     pub fn runs_newest_first(&self) -> impl Iterator<Item = &Run> {
-        self.levels.iter().flat_map(|level| level.iter().rev())
+        let mut runs: Vec<&Run> = self.levels.iter().flatten().collect();
+        runs.sort_by_key(|r| std::cmp::Reverse(r.meta.data_age()));
+        runs.into_iter()
     }
 
     /// Total flash pages currently occupied by live runs.
@@ -185,6 +198,14 @@ impl LogGecko {
     /// Number of levels that currently hold at least one run.
     pub fn occupied_levels(&self) -> usize {
         self.levels.iter().filter(|l| !l.is_empty()).count()
+    }
+
+    /// Number of installed runs at each level. A fully drained tree holds
+    /// at most one run per level (the planner keeps scheduling until no
+    /// level has two settled runs), which tests use as the settled-shape
+    /// invariant.
+    pub fn runs_per_level(&self) -> Vec<usize> {
+        self.levels.iter().map(Vec::len).collect()
     }
 
     /// Integrated-RAM footprint per Appendix B: run directories (two 4-byte
@@ -386,64 +407,65 @@ impl LogGecko {
             None => true,
         });
 
-        // 2. Runs, newest data first.
+        // 2. Runs, newest data first (descending span — see
+        // `runs_newest_first`).
         let mut ppns = std::mem::take(&mut self.scratch.probe_ppns);
-        'runs: for level in &self.levels {
-            for run in level.iter().rev() {
-                if open.is_empty() {
-                    break 'runs;
+        let mut runs: Vec<&Run> = self.levels.iter().flatten().collect();
+        runs.sort_by_key(|r| std::cmp::Reverse(r.meta.data_age()));
+        for run in runs {
+            if open.is_empty() {
+                break;
+            }
+            ppns.clear();
+            // Keys are sorted, so probes arrive in page order; once a
+            // page is queued, every following key up to its fence upper
+            // bound lands on it and needs neither filter nor search (the
+            // common case: one block's S sub-keys share a run page).
+            let mut queued_up_to: Option<GeckoKey> = None;
+            for &(key, _) in open.iter() {
+                if queued_up_to.is_some_and(|last| key <= last) {
+                    continue;
                 }
-                ppns.clear();
-                // Keys are sorted, so probes arrive in page order; once a
-                // page is queued, every following key up to its fence upper
-                // bound lands on it and needs neither filter nor search (the
-                // common case: one block's S sub-keys share a run page).
-                let mut queued_up_to: Option<GeckoKey> = None;
-                for &(key, _) in open.iter() {
-                    if queued_up_to.is_some_and(|last| key <= last) {
+                if !run.may_contain(key) {
+                    self.stats.bloom_skips += 1;
+                    continue;
+                }
+                if let Some(page) = run.page_for(key) {
+                    debug_assert!(ppns.last() != Some(&page.ppn));
+                    ppns.push(page.ppn);
+                    queued_up_to = Some(page.last);
+                }
+            }
+            self.stats.fence_probes += ppns.len() as u64;
+            for &ppn in &ppns {
+                let data = dev
+                    .read_page(ppn, purpose)
+                    .expect("run directory points at a written page");
+                let payload = data
+                    .blob::<GeckoPagePayload>()
+                    .expect("gecko block page holds a gecko payload");
+                // Page entries and `open` are both key-sorted: a
+                // two-pointer merge scan finds matches in one compare
+                // per entry instead of a binary search per entry.
+                let mut oi = 0usize;
+                for entry in &payload.entries {
+                    while oi < open.len() && open[oi].0 < entry.key {
+                        oi += 1;
+                    }
+                    if oi >= open.len() {
+                        break;
+                    }
+                    if open[oi].0 != entry.key {
                         continue;
                     }
-                    if !run.may_contain(key) {
-                        self.stats.bloom_skips += 1;
-                        continue;
+                    let ridx = open[oi].1;
+                    for bit in entry.bitmap.iter_ones() {
+                        results[ridx].set(entry.key.part as u32 * sub + bit);
                     }
-                    if let Some(page) = run.page_for(key) {
-                        debug_assert!(ppns.last() != Some(&page.ppn));
-                        ppns.push(page.ppn);
-                        queued_up_to = Some(page.last);
-                    }
-                }
-                self.stats.fence_probes += ppns.len() as u64;
-                for &ppn in &ppns {
-                    let data = dev
-                        .read_page(ppn, purpose)
-                        .expect("run directory points at a written page");
-                    let payload = data
-                        .blob::<GeckoPagePayload>()
-                        .expect("gecko block page holds a gecko payload");
-                    // Page entries and `open` are both key-sorted: a
-                    // two-pointer merge scan finds matches in one compare
-                    // per entry instead of a binary search per entry.
-                    let mut oi = 0usize;
-                    for entry in &payload.entries {
-                        while oi < open.len() && open[oi].0 < entry.key {
-                            oi += 1;
-                        }
-                        if oi >= open.len() {
-                            break;
-                        }
-                        if open[oi].0 != entry.key {
-                            continue;
-                        }
-                        let ridx = open[oi].1;
-                        for bit in entry.bitmap.iter_ones() {
-                            results[ridx].set(entry.key.part as u32 * sub + bit);
-                        }
-                        if entry.erase_flag {
-                            // Close the key; `oi` now points at the next
-                            // open key, which only larger entries can match.
-                            open.remove(oi);
-                        }
+                    if entry.erase_flag {
+                        // Close the key; `oi` now points at the next
+                        // open key, which only larger entries can match.
+                        open.remove(oi);
                     }
                 }
             }
@@ -492,36 +514,36 @@ impl LogGecko {
         }
 
         // 2. Runs, newest data first; read only pages overlapping open keys.
-        for level in &self.levels {
-            for run in level.iter().rev() {
-                if open_count == 0 {
-                    return result;
-                }
-                let lo_part = open.iter().position(|o| *o);
-                let hi_part = open.iter().rposition(|o| *o);
-                let (Some(lo), Some(hi)) = (lo_part, hi_part) else {
-                    return result;
-                };
-                let lo = GeckoKey {
-                    block,
-                    part: lo as u16,
-                };
-                let hi = GeckoKey {
-                    block,
-                    part: hi as u16,
-                };
-                let pages: Vec<Ppn> = run.pages_overlapping(lo, hi).map(|p| p.ppn).collect();
-                for ppn in pages {
-                    let data = dev
-                        .read_page(ppn, purpose)
-                        .expect("run directory points at a written page");
-                    let payload = data
-                        .blob::<GeckoPagePayload>()
-                        .expect("gecko block page holds a gecko payload");
-                    for entry in &payload.entries {
-                        if entry.key.block == block {
-                            absorb(entry, &mut open, &mut open_count, &mut result);
-                        }
+        let mut runs: Vec<&Run> = self.levels.iter().flatten().collect();
+        runs.sort_by_key(|r| std::cmp::Reverse(r.meta.data_age()));
+        for run in runs {
+            if open_count == 0 {
+                return result;
+            }
+            let lo_part = open.iter().position(|o| *o);
+            let hi_part = open.iter().rposition(|o| *o);
+            let (Some(lo), Some(hi)) = (lo_part, hi_part) else {
+                return result;
+            };
+            let lo = GeckoKey {
+                block,
+                part: lo as u16,
+            };
+            let hi = GeckoKey {
+                block,
+                part: hi as u16,
+            };
+            let pages: Vec<Ppn> = run.pages_overlapping(lo, hi).map(|p| p.ppn).collect();
+            for ppn in pages {
+                let data = dev
+                    .read_page(ppn, purpose)
+                    .expect("run directory points at a written page");
+                let payload = data
+                    .blob::<GeckoPagePayload>()
+                    .expect("gecko block page holds a gecko payload");
+                for entry in &payload.entries {
+                    if entry.key.block == block {
+                        absorb(entry, &mut open, &mut open_count, &mut result);
                     }
                 }
             }
@@ -561,18 +583,18 @@ impl LogGecko {
                 absorb(entry, &mut open);
             }
         }
-        for level in &self.levels {
-            for run in level.iter().rev() {
-                for page in &run.pages {
-                    let data = dev
-                        .read_page(page.ppn, IoPurpose::ValidityQuery)
-                        .expect("run directory points at a written page");
-                    let payload = data
-                        .blob::<GeckoPagePayload>()
-                        .expect("gecko block page holds a gecko payload");
-                    for entry in &payload.entries {
-                        absorb(entry, &mut open);
-                    }
+        let mut runs: Vec<&Run> = self.levels.iter().flatten().collect();
+        runs.sort_by_key(|r| std::cmp::Reverse(r.meta.data_age()));
+        for run in runs {
+            for page in &run.pages {
+                let data = dev
+                    .read_page(page.ppn, IoPurpose::ValidityQuery)
+                    .expect("run directory points at a written page");
+                let payload = data
+                    .blob::<GeckoPagePayload>()
+                    .expect("gecko block page holds a gecko payload");
+                for entry in &payload.entries {
+                    absorb(entry, &mut open);
                 }
             }
         }
@@ -586,25 +608,24 @@ impl LogGecko {
     }
 
     /// Flush the buffer and schedule merges. Public so that shutdown paths
-    /// can force persistence. Merge work pending from *before* the call is
-    /// settled (drained ahead of each push), but a merge scheduled by the
-    /// flush's own final push is left to the pump — callers needing full
-    /// quiescence (clean shutdown, tests) follow up with
-    /// [`LogGecko::drain_merges`] or keep ticking
+    /// can force persistence. Merges scheduled by the pushes are left to the
+    /// pump — callers needing full quiescence (clean shutdown, tests) follow
+    /// up with [`LogGecko::drain_merges`] or keep ticking
     /// [`crate::ftl::FtlEngine::idle_tick`].
     ///
     /// Erase markers can overshoot the buffer past `V` entries (Algorithm 2
     /// inserts S sub-entries at once), so the flush emits *single-page* runs
     /// — each inserted at level 0, scheduling merges after each — rather
     /// than one multi-page run. Chunks cover disjoint key ranges, so their
-    /// relative order carries no information, and the level-by-data-age
-    /// invariant that queries rely on is preserved.
+    /// relative order carries no information, and the data-age order that
+    /// queries rely on is preserved.
     ///
-    /// Every push is preceded by a drain of pending merge jobs (a forced,
-    /// counted stall when work was actually pending): merge *planning* must
-    /// see the settled structure, which is what makes the incremental
-    /// scheduler perform the identical merge sequence as
-    /// [`GeckoConfig::sync_merge`] — see [`scheduler`] invariant 4.
+    /// Pushes do **not** wait for pending merge jobs: output identities are
+    /// reserved at plan time and plans are span-contiguous ([`scheduler`]
+    /// invariant 4), so planning on a structure with jobs still in flight is
+    /// sound. The forced pre-push drain this method used to perform — and
+    /// count as [`GeckoStats::merge_stall_drains`] — is gone; stall drains
+    /// now occur only when a caller explicitly needs quiescence.
     pub fn flush(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink) {
         if self.buffer.is_empty() {
             // Nothing to push ⇒ no merge planning ⇒ no need to force-drain
@@ -630,7 +651,6 @@ impl LogGecko {
         let mut chunk = std::mem::take(&mut self.scratch.chunk);
         let mut chunk_keys = std::mem::take(&mut self.scratch.chunk_keys);
         while !self.buffer.is_empty() {
-            self.drain_merges(dev, sink);
             chunk_keys.clear();
             chunk_keys.extend(self.buffer.keys().take(v).copied());
             chunk.clear();
@@ -649,6 +669,7 @@ impl LogGecko {
                 &self.cfg,
                 &self.geo,
                 dev,
+                None,
                 std::mem::take(&mut chunk),
                 Vec::new(),
                 None,
@@ -668,86 +689,164 @@ impl LogGecko {
                 self.last_flush_seq = run.meta.created_seq;
             }
             self.levels[0].push(run);
-            self.schedule_merges();
+            self.schedule_merges(dev);
             if self.cfg.sync_merge {
                 self.drain_merges(dev, sink);
             }
         }
         self.scratch.chunk = chunk;
         self.scratch.chunk_keys = chunk_keys;
+        // Backpressure valve: merge IO is normally pumped between flushes
+        // (the engine piggybacks slices on writes and idle ticks), but a
+        // caller that only ever inserts must not accumulate unbounded merge
+        // debt — space amplification and metadata-block pressure grow with
+        // the backlog. Only when the debt runs far past the ceiling does
+        // the flush drain the excess inline, as a counted stall.
+        if self.merge_backlog_pages() > self.merge_debt_ceiling() {
+            if !self.cfg.sync_merge {
+                self.stats.merge_stall_drains += 1;
+            }
+            while self.merge_backlog_pages() > self.merge_debt_ceiling()
+                && self.pump_merges(dev, sink, self.cfg.merge_step_pages as u64)
+            {}
+        }
         let now = dev.clock().now_us();
         dev.telemetry_mut()
             .record_span(SpanKind::BufferFlush, span_entries, span_t0, now);
     }
 
+    /// Pending-merge-IO ceiling for the [`LogGecko::flush`] backpressure
+    /// valve, in estimated flash page-IOs. Scaled to the slice budget (the
+    /// granularity at which debt drains) and the channel count (queues on
+    /// distinct channels drain concurrently).
+    fn merge_debt_ceiling(&self) -> u64 {
+        16 * self.cfg.merge_step_pages.max(1) as u64 * self.geo.channels.max(1) as u64
+    }
+
     /// Plan due merges (§3.1, Appendix A): whenever a level holds two or
-    /// more settled runs, enqueue a [`MergeJob`] folding them — plus, under
-    /// the multi-way policy, the runs of every deeper level the output
-    /// would cascade into anyway. Planning only *queues* work; the IO is
-    /// paid by [`LogGecko::pump_merges`] / [`LogGecko::drain_merges`].
-    fn schedule_merges(&mut self) {
-        loop {
-            let merging = &self.merging;
-            let settled = |l: &[Run]| l.iter().filter(|r| !merging.contains(&r.meta.id)).count();
-            let Some(start) = self.levels.iter().position(|l| settled(l) >= 2) else {
-                return;
+    /// more settled runs whose spans form a contiguous block of data-age
+    /// history, enqueue a [`MergeJob`] folding them — plus, under the
+    /// multi-way policy, the runs of every deeper level the output would
+    /// cascade into anyway. Planning only *queues* work; the IO is paid by
+    /// [`LogGecko::pump_merges`] / [`LogGecko::drain_merges`].
+    ///
+    /// Plans are made while earlier jobs are still in flight: their inputs
+    /// stay installed (and excluded via `merging`), and the span-contiguity
+    /// rule ([`scheduler`] invariant 4) rejects any candidate set whose
+    /// combined span would overlap an outside live run — which keeps live
+    /// spans pairwise disjoint no matter how plans interleave.
+    fn schedule_merges(&mut self, dev: &mut FlashDevice) {
+        'planning: loop {
+            for start in 0..self.levels.len() {
+                let Some(inputs) = self.plan_at_level(start) else {
+                    continue;
+                };
+                let ids: HashSet<RunId> = inputs.iter().map(|i| i.meta.id).collect();
+                let deepest = inputs.iter().map(|i| i.meta.level).max().unwrap_or(0);
+                // Is the merge output going to carry the oldest live data?
+                // If so, erase flags carry no further information and
+                // fully-empty entries can be dropped ("removes obsolete
+                // entries during merge operations"). With spans pairwise
+                // disjoint this is exactly "every outside run is newer";
+                // level depth alone no longer orders data age once jobs
+                // overlap.
+                let span_lo = inputs
+                    .iter()
+                    .map(|i| i.meta.supersedes_since)
+                    .min()
+                    .unwrap_or(0);
+                let output_is_largest = self
+                    .levels
+                    .iter()
+                    .flatten()
+                    .filter(|r| !ids.contains(&r.meta.id))
+                    .all(|r| r.meta.supersedes_upto > span_lo);
+                self.stats.merges += 1;
+                self.merging.extend(ids);
+                self.sched.enqueue(MergeJob::new(
+                    self.cfg,
+                    self.geo,
+                    dev,
+                    inputs,
+                    deepest,
+                    output_is_largest,
+                ));
+                continue 'planning;
+            }
+            return;
+        }
+    }
+
+    /// Try to build a span-contiguous merge plan triggered by level
+    /// `start` holding ≥ 2 settled runs.
+    ///
+    /// Live spans are pairwise disjoint, so global data-age order is also
+    /// span order, and a candidate set is span-contiguous **iff** it is a
+    /// consecutive subsequence of that order. The plan is therefore built
+    /// positionally: within a maximal consecutive segment of settled runs,
+    /// take the window from the newest to the oldest run of level `start`
+    /// — including any *bridge* runs of other levels whose spans sit
+    /// between them (skipping a bridge would leave a forever-unmergeable
+    /// gap: nothing younger can ever span across it) — then cascade
+    /// older-ward per the multi-way policy, absorbing each next-older run
+    /// whose level the combined output would reach anyway.
+    ///
+    /// Returns the inputs newest data first, or `None` if no segment
+    /// holds two settled runs of level `start`.
+    fn plan_at_level(&self, start: usize) -> Option<Vec<JobInput>> {
+        let mut order: Vec<&Run> = self.levels.iter().flatten().collect();
+        order.sort_by_key(|r| std::cmp::Reverse(r.meta.data_age()));
+        let settled = |r: &Run| !self.merging.contains(&r.meta.id);
+        let mut i = 0usize;
+        while i < order.len() {
+            if !settled(order[i]) {
+                i += 1;
+                continue;
+            }
+            let seg_start = i;
+            while i < order.len() && settled(order[i]) {
+                i += 1;
+            }
+            let seg = &order[seg_start..i];
+            let lvl = start as u32;
+            let first = seg.iter().position(|r| r.meta.level == lvl);
+            let last = seg.iter().rposition(|r| r.meta.level == lvl);
+            let (Some(first), Some(last)) = (first, last) else {
+                continue;
             };
-            let mut inputs: Vec<JobInput> = Vec::new();
-            let mut combined_pages: u64 = 0;
-            let mut absorb_level = |runs: &[Run], merging: &HashSet<RunId>| {
-                let mut pages = 0u64;
-                for run in runs.iter().filter(|r| !merging.contains(&r.meta.id)) {
-                    pages += run.num_pages();
-                    inputs.push(JobInput::of(run));
-                }
-                pages
-            };
-            combined_pages += absorb_level(&self.levels[start], &self.merging);
+            if last == first {
+                continue; // a single run of this level: nothing due here
+            }
+            let mut cand: Vec<&Run> = seg[first..=last].to_vec();
             if self.cfg.multiway_merge {
-                let mut level = start + 1;
-                while level < self.levels.len() {
-                    if settled(&self.levels[level]) == 0
-                        || combined_pages < (self.cfg.size_ratio as u64).pow(level as u32)
-                    {
+                let mut pages: u64 = cand.iter().map(|r| r.num_pages()).sum();
+                for r in &seg[last + 1..] {
+                    if pages < (self.cfg.size_ratio as u64).pow(r.meta.level) {
                         break;
                     }
-                    combined_pages += absorb_level(&self.levels[level], &self.merging);
-                    level += 1;
+                    cand.push(r);
+                    pages += r.num_pages();
                 }
             }
-            self.stats.merges += 1;
-            // Newest data first, so pairwise collision resolution can fold
-            // older entries into newer ones (Algorithm 3). Data age is
-            // ordered by level first (shallower = newer), then by creation
-            // time within a level — creation time alone can invert across
-            // levels.
-            inputs.sort_by(|a, b| {
-                a.meta
-                    .level
-                    .cmp(&b.meta.level)
-                    .then(b.meta.created_seq.cmp(&a.meta.created_seq))
-            });
-            let deepest = inputs.iter().map(|i| i.meta.level).max().unwrap_or(0);
-            let ids: HashSet<RunId> = inputs.iter().map(|i| i.meta.id).collect();
-            // Is the merge output going to be the new largest run? If so,
-            // erase flags carry no further information and fully-empty
-            // entries can be dropped ("removes obsolete entries during
-            // merge operations").
-            let deepest_occupied = self
-                .levels
-                .iter()
-                .rposition(|l| l.iter().any(|r| !ids.contains(&r.meta.id)))
-                .map(|l| l as u32);
-            let output_is_largest = deepest_occupied.is_none_or(|d| deepest >= d);
-            self.merging.extend(ids);
-            self.sched.enqueue(MergeJob::new(
-                self.cfg,
-                self.geo,
-                inputs,
-                deepest,
-                output_is_largest,
-            ));
+            debug_assert!(self.span_contiguous(&cand));
+            return Some(cand.iter().map(|r| JobInput::of(r)).collect());
         }
+        None
+    }
+
+    /// Invariant-4 check: does the candidate set's combined span
+    /// `[min supersedes_since, max supersedes_upto]` avoid the span of
+    /// every live run outside the set? (In-flight jobs need no separate
+    /// check — their participants stay installed until the output is
+    /// sealed, and an output's span is the union of its participants'.)
+    fn span_contiguous(&self, cand: &[&Run]) -> bool {
+        let lo = cand.iter().map(|r| r.meta.supersedes_since).min().unwrap();
+        let hi = cand.iter().map(|r| r.meta.supersedes_upto).max().unwrap();
+        self.levels
+            .iter()
+            .flatten()
+            .filter(|r| !cand.iter().any(|c| c.meta.id == r.meta.id))
+            .all(|r| r.meta.supersedes_upto < lo || hi < r.meta.supersedes_since)
     }
 
     /// Advance pending merge work by one bounded slice: every channel's
@@ -830,7 +929,7 @@ impl LogGecko {
             }
             self.levels[level].push(run);
         }
-        self.schedule_merges();
+        self.schedule_merges(dev);
     }
 
     /// Pending incremental merge work, in estimated flash page-IOs
@@ -892,34 +991,43 @@ impl LogGecko {
             absorb(entry, &mut closed, &mut result);
         }
         let mut keys: Vec<GeckoKey> = Vec::new();
-        for level in &mut self.levels {
-            for run in level.iter_mut().rev() {
-                let rebuild_filter = bloom_bits > 0 && run.filter.is_none();
-                keys.clear();
-                let mut entries_seen = 0u64;
-                for page in &run.pages {
-                    let data = dev
-                        .read_page(page.ppn, purpose)
-                        .expect("live run page readable");
-                    let payload = data.blob::<GeckoPagePayload>().expect("gecko page payload");
-                    entries_seen += payload.entries.len() as u64;
-                    for entry in &payload.entries {
-                        absorb(entry, &mut closed, &mut result);
-                        if rebuild_filter {
-                            keys.push(entry.key);
-                        }
+        // Newest data first (`absorb` honors the first erase flag seen per
+        // key); indices instead of references because the repair pass needs
+        // `&mut` access to each run.
+        let mut order: Vec<(usize, usize)> = self
+            .levels
+            .iter()
+            .enumerate()
+            .flat_map(|(li, level)| (0..level.len()).map(move |ri| (li, ri)))
+            .collect();
+        order.sort_by_key(|&(li, ri)| std::cmp::Reverse(self.levels[li][ri].meta.data_age()));
+        for (li, ri) in order {
+            let run = &mut self.levels[li][ri];
+            let rebuild_filter = bloom_bits > 0 && run.filter.is_none();
+            keys.clear();
+            let mut entries_seen = 0u64;
+            for page in &run.pages {
+                let data = dev
+                    .read_page(page.ppn, purpose)
+                    .expect("live run page readable");
+                let payload = data.blob::<GeckoPagePayload>().expect("gecko page payload");
+                entries_seen += payload.entries.len() as u64;
+                for entry in &payload.entries {
+                    absorb(entry, &mut closed, &mut result);
+                    if rebuild_filter {
+                        keys.push(entry.key);
                     }
                 }
-                if run.entry_count == 0 {
-                    run.entry_count = entries_seen;
+            }
+            if run.entry_count == 0 {
+                run.entry_count = entries_seen;
+            }
+            if rebuild_filter {
+                let mut f = RunFilter::new(keys.len(), bloom_bits);
+                for &k in &keys {
+                    f.insert(k);
                 }
-                if rebuild_filter {
-                    let mut f = RunFilter::new(keys.len(), bloom_bits);
-                    for &k in &keys {
-                        f.insert(k);
-                    }
-                    run.filter = Some(f);
-                }
+                run.filter = Some(f);
             }
         }
         result

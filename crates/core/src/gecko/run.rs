@@ -57,23 +57,50 @@ pub struct RunMeta {
     /// Recovery treats every run named here as dead: its entries live on
     /// in this (sealed, hence durable) output.
     pub merged_from: Vec<RunId>,
-    /// Creation seq of this run's oldest *transitive* merge input (its own
+    /// Lower bound of this run's *data-age span*: the oldest
+    /// `supersedes_since` over its transitive merge inputs (its own
     /// `created_seq` for buffer flushes). Together with
-    /// [`RunMeta::supersedes_upto`] it bounds the runs folded into this
-    /// one, so recovery can identify merged-away leftovers even when
-    /// intermediate superseders have already been erased from flash (a
-    /// `merged_from` chain alone breaks in that case).
+    /// [`RunMeta::supersedes_upto`] it describes exactly which slice of
+    /// validity history this run carries, so recovery can identify
+    /// merged-away leftovers even when intermediate superseders have
+    /// already been erased from flash (a `merged_from` chain alone breaks
+    /// in that case), and queries can order runs by data age.
     pub supersedes_since: u64,
-    /// Creation seq of this run's newest *direct* merge input (its own
-    /// `created_seq` for buffer flushes). Every transitive input was
-    /// created inside `[supersedes_since, supersedes_upto]`; a run created
-    /// *after* `supersedes_upto` cannot have been folded into this one.
-    /// The closed upper bound matters under incremental merging: buffer
-    /// flushes that happen while a merge is in flight create live level-0
-    /// runs inside `[supersedes_since, created_seq)`, and an upper bound of
-    /// `created_seq` would make recovery discard them — losing every
-    /// report they carry.
+    /// Upper bound of this run's *data-age span*: the newest
+    /// `supersedes_upto` over its transitive merge inputs (its own
+    /// `created_seq` for buffer flushes) — i.e. the sequence number of the
+    /// newest validity data folded into this run.
+    ///
+    /// Two load-bearing properties, both enforced by the merge planner's
+    /// span-contiguity rule ([`crate::gecko::scheduler`] invariant 4):
+    ///
+    /// * **Query order.** Runs are traversed newest-span-first. With
+    ///   several merge jobs in flight per tree, levels alone no longer
+    ///   order data age (a late-planned job over fresh flushes can install
+    ///   deeper than an early-planned job over old runs), and
+    ///   `created_seq` alone never did.
+    /// * **Recovery liveness.** Live runs' spans are pairwise disjoint and
+    ///   merging is laminar (an output's span is the union of its inputs'),
+    ///   so after a crash a candidate run is superseded **iff** its span is
+    ///   strictly contained in a live candidate's span. A run created after
+    ///   `supersedes_upto` was reserved cannot have been folded into this
+    ///   one, which keeps flushes that land while a merge is in flight
+    ///   alive across a crash.
     pub supersedes_upto: u64,
+}
+
+impl RunMeta {
+    /// The run's closed data-age span `[supersedes_since, supersedes_upto]`.
+    pub fn span(&self) -> (u64, u64) {
+        (self.supersedes_since, self.supersedes_upto)
+    }
+
+    /// Sort key for newest-data-first traversals: spans of live runs are
+    /// pairwise disjoint, so descending `supersedes_upto` is a total data-age
+    /// order; `created_seq` breaks ties for robustness only.
+    pub fn data_age(&self) -> (u64, u64) {
+        (self.supersedes_upto, self.created_seq)
+    }
 }
 
 /// One run-directory entry: a page of the run and the key range it holds.

@@ -59,12 +59,25 @@
 //!    — correct when merges were synchronous — would make recovery's
 //!    step-4a/4b/6 windows skip reports that lived only in the lost
 //!    buffer and silently revive stale validity bits.
-//! 4. **No new runs while a job is in flight.** `LogGecko::flush` drains
-//!    pending jobs *before* pushing a new level-0 run (a forced, counted
-//!    stall). Merge *decisions* therefore see exactly the settled structure
-//!    the synchronous mode would see, which is what makes
-//!    `sync_merge = true/false` produce the identical merge sequence — the
-//!    property the equivalence tests pin down.
+//! 4. **Reserved identities + span-contiguous plans.** Several jobs may be
+//!    in flight per tree at once: flushes no longer drain pending work, and
+//!    sharded trees pump their queues concurrently. Two rules keep that
+//!    sound without persisting any scheduler state:
+//!
+//!    * A job's output identity (`RunId` / `created_seq`) is **reserved
+//!      from the device sequence at plan time**
+//!      ([`flash_sim::FlashDevice::reserve_seq`]), not minted when the
+//!      write phase starts — so concurrent write phases can never collide,
+//!      and the identity is unique across power failures because the
+//!      reservation advances the sequence.
+//!    * A plan may only fold a **data-age-contiguous** set of runs: the
+//!      candidate set's combined span `[min supersedes_since, max
+//!      supersedes_upto]` must not intersect the span of any live run
+//!      outside the set. Live spans therefore stay pairwise disjoint and
+//!      merging stays laminar, which is exactly what makes
+//!      newest-span-first query order and recovery's span-containment
+//!      liveness rule ([`crate::gecko::run::RunMeta::supersedes_upto`])
+//!      correct with concurrent jobs in flight.
 
 use crate::gecko::config::GeckoConfig;
 use crate::gecko::entry::{GeckoEntry, GeckoKey};
@@ -130,9 +143,15 @@ pub(crate) struct RunWriter {
 }
 
 impl RunWriter {
-    /// Start writing `entries` (sorted, non-empty) as a run. Assigns the
-    /// run its identity from the device sequence number — persistent and
-    /// strictly monotonic, so ids stay unique across power failures.
+    /// Start writing `entries` (sorted, non-empty) as a run.
+    ///
+    /// `identity` is the run's `(id, created_seq)`: merge jobs pass the
+    /// pair **reserved at plan time** (see
+    /// [`flash_sim::FlashDevice::reserve_seq`]); `None` — buffer flushes,
+    /// which write their single page immediately — mints both from the
+    /// current device sequence number. Either way the identity is
+    /// persistent and strictly monotonic, so ids stay unique across power
+    /// failures and across concurrent write phases.
     /// `min_level` clamps placement so merge output never lands above a
     /// participant's level (which would break the data-age ordering queries
     /// rely on when collisions shrink the output).
@@ -140,14 +159,15 @@ impl RunWriter {
     /// preamble: `None` stamps the run's own creation time (a buffer
     /// flush's **final** chunk); non-final chunks and merge outputs pass
     /// the watermark in effect before them (see [`RunMeta::flush_seq`]).
-    /// `supersedes_since`/`supersedes_upto` bound the direct merge inputs'
-    /// creation times; `None` (buffer flushes) stamps the run's own
-    /// creation time, giving the empty supersede interval.
+    /// `supersedes_since`/`supersedes_upto` give the run's data-age span:
+    /// the union of the direct inputs' spans for merge outputs, or `None`
+    /// (buffer flushes) for the point span at the run's own creation time.
     #[allow(clippy::too_many_arguments)] // two call sites (flush, merge); a params struct would obscure the layout inputs
     pub(crate) fn new(
         cfg: &GeckoConfig,
         geo: &Geometry,
         dev: &FlashDevice,
+        identity: Option<(RunId, u64)>,
         entries: Vec<GeckoEntry>,
         merged_from: Vec<RunId>,
         supersedes_since: Option<u64>,
@@ -162,10 +182,9 @@ impl RunWriter {
             "run entries must be sorted"
         );
         let v = cfg.entries_per_page(geo) as usize;
-        let id = RunId(dev.now_seq());
+        let (id, created_seq) = identity.unwrap_or((RunId(dev.now_seq()), dev.now_seq()));
         let n_pages = entries.len().div_ceil(v);
         let level = cfg.level_for(n_pages as u64).max(min_level);
-        let created_seq = dev.now_seq();
         let meta = RunMeta {
             id,
             level,
@@ -276,6 +295,10 @@ pub struct MergeJob {
     geo: Geometry,
     /// Participants in data-age order, newest first.
     inputs: Vec<JobInput>,
+    /// The output run's `(id, created_seq)`, reserved from the device
+    /// sequence at plan time (invariant 4: concurrent write phases must
+    /// never mint colliding identities).
+    reserved: (RunId, u64),
     /// Level floor for the output (the deepest participant's level).
     min_level: u32,
     /// Whether the output will be the deepest run, allowing pure
@@ -305,14 +328,18 @@ enum StepResult {
 }
 
 impl MergeJob {
-    /// Plan a merge of `inputs` (newest data first).
+    /// Plan a merge of `inputs` (newest data first), reserving the output
+    /// run's identity from the device sequence now — before any other job's
+    /// write phase can run — so concurrent jobs never collide.
     pub fn new(
         cfg: GeckoConfig,
         geo: Geometry,
+        dev: &mut FlashDevice,
         inputs: Vec<JobInput>,
         min_level: u32,
         output_is_largest: bool,
     ) -> Self {
+        let seq = dev.reserve_seq();
         let streams = inputs
             .iter()
             .map(|i| Vec::with_capacity(i.entry_count as usize))
@@ -321,10 +348,29 @@ impl MergeJob {
             cfg,
             geo,
             inputs,
+            reserved: (RunId(seq), seq),
             min_level,
             output_is_largest,
             phase: Phase::Read { next: 0, streams },
         }
+    }
+
+    /// The combined data-age span of the job's inputs — the span its output
+    /// will carry.
+    pub fn span(&self) -> (u64, u64) {
+        let lo = self
+            .inputs
+            .iter()
+            .map(|i| i.meta.supersedes_since)
+            .min()
+            .unwrap_or(0);
+        let hi = self
+            .inputs
+            .iter()
+            .map(|i| i.meta.supersedes_upto)
+            .max()
+            .unwrap_or(0);
+        (lo, hi)
     }
 
     /// Total flash pages this job still has to read and write. The write
@@ -401,14 +447,16 @@ impl MergeJob {
                         output: None,
                     });
                 }
+                let (span_lo, span_hi) = self.span();
                 self.phase = Phase::Write(RunWriter::new(
                     &self.cfg,
                     &self.geo,
                     dev,
+                    Some(self.reserved),
                     merged,
                     self.inputs.iter().map(|i| i.meta.id).collect(),
-                    self.inputs.iter().map(|i| i.meta.supersedes_since).min(),
-                    self.inputs.iter().map(|i| i.meta.created_seq).max(),
+                    Some(span_lo),
+                    Some(span_hi),
                     Some(flush_watermark),
                     self.min_level,
                     IoPurpose::ValidityMerge,
@@ -558,20 +606,13 @@ impl MergeScheduler {
             .sum()
     }
 
-    /// Dispatch a job onto the next channel's queue, round-robin.
-    ///
-    /// A single tree's cascade keeps at most one job in flight (planning
-    /// happens only on a settled structure), and [`RunWriter`]'s run-id
-    /// uniqueness *depends* on that: ids are minted from the device
-    /// sequence number at fold time, and page reads don't bump the seq, so
-    /// two jobs folding in the same pump could mint the same id. The
-    /// assert makes the invariant loud for whoever adds sharded trees —
-    /// multi-job dispatch must first switch to reserved id allocation.
+    /// Dispatch a job onto the next channel's queue, round-robin. Several
+    /// jobs may be queued and in flight at once: output identities are
+    /// reserved at plan time ([`MergeJob::new`]), so concurrent write
+    /// phases cannot mint colliding run ids, and the planner's
+    /// span-contiguity rule keeps queries and recovery correct while the
+    /// jobs drain (invariant 4).
     pub fn enqueue(&mut self, job: MergeJob) {
-        debug_assert!(
-            self.is_idle(),
-            "one merge job in flight per tree (run-id uniqueness relies on it)"
-        );
         let ch = self.next_channel;
         self.next_channel = (self.next_channel + 1) % self.queues.len();
         self.queues[ch].push_back(job);

@@ -1,0 +1,356 @@
+//! Channel-sharded Logarithmic Gecko: one independent [`LogGecko`] tree per
+//! shard, with block `b` owned by shard `b % shards`.
+//!
+//! When `shards == channels` the shard function coincides with
+//! [`Geometry::channel_of`], so each shard's merge queue holds jobs whose
+//! victim blocks live on one flash channel. Pumping every shard inside a
+//! single device overlap window then models the channels merging
+//! concurrently: each shard's page-IOs land on its own channel lane and the
+//! wall-clock charge is the max lane, not the sum (see
+//! `docs/CONCURRENCY.md`).
+//!
+//! Every operation routes to exactly one shard (invalidations, erases, GC
+//! queries are all per-block), so shard trees never share state and the
+//! sharded store is *logically* equivalent to a single tree: the same
+//! queries return the same bitmaps. Physical layout differs — each shard
+//! flushes and merges on its own cadence — which is why the equivalence
+//! property tests compare query bits and settled invariants, not bytes
+//! (`tests/sharded.rs`). With `shards == 1` the layout is byte-identical to
+//! a plain [`LogGecko`] by construction: shard 0 sees the identical
+//! operation sequence.
+
+use super::{Bitmap, GeckoConfig, GeckoStats, LogGecko, Run};
+use crate::validity::{MetaSink, ValidityStore};
+use flash_sim::{BlockId, FlashDevice, Geometry, IoPurpose, Ppn};
+use std::collections::HashMap;
+
+/// A validity store split into `shards` independent [`LogGecko`] trees.
+#[derive(Debug)]
+pub struct ShardedGecko {
+    shards: Vec<LogGecko>,
+    geo: Geometry,
+}
+
+impl ShardedGecko {
+    /// Create `cfg.shards` empty trees. Each tree uses the full-device
+    /// geometry for entry sizing (a shard's entries are identical to the
+    /// single-tree layout's); only the key population is partitioned.
+    pub fn new(geo: Geometry, cfg: GeckoConfig) -> Self {
+        cfg.validate(&geo);
+        let shards = (0..cfg.shards.max(1))
+            .map(|_| LogGecko::new(geo, cfg))
+            .collect();
+        ShardedGecko { shards, geo }
+    }
+
+    /// Reassemble from per-shard recovered trees (recovery partitions the
+    /// run candidates by shard before rebuilding each tree).
+    pub fn from_shards(geo: Geometry, shards: Vec<LogGecko>) -> Self {
+        assert!(!shards.is_empty(), "a sharded store needs at least 1 shard");
+        ShardedGecko { shards, geo }
+    }
+
+    /// The shard owning `block`: `block % shards`. Equal to
+    /// [`Geometry::channel_of`] when `shards == channels`.
+    pub fn shard_of(&self, block: BlockId) -> usize {
+        (block.0 % self.shards.len() as u32) as usize
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The per-shard trees, in shard order.
+    pub fn shard_trees(&self) -> &[LogGecko] {
+        &self.shards
+    }
+
+    /// Mutable access to one shard's tree (tests, recovery refill).
+    pub fn shard_mut(&mut self, idx: usize) -> &mut LogGecko {
+        &mut self.shards[idx]
+    }
+
+    /// Configuration in effect (identical across shards).
+    pub fn config(&self) -> GeckoConfig {
+        self.shards[0].config()
+    }
+
+    /// Lifetime counters summed over all shards.
+    pub fn stats(&self) -> GeckoStats {
+        let mut total = GeckoStats::default();
+        for s in &self.shards {
+            total.buffer_inserts += s.stats.buffer_inserts;
+            total.flushes += s.stats.flushes;
+            total.merges += s.stats.merges;
+            total.queries += s.stats.queries;
+            total.entries_dropped += s.stats.entries_dropped;
+            total.batch_queries += s.stats.batch_queries;
+            total.bloom_skips += s.stats.bloom_skips;
+            total.fence_probes += s.stats.fence_probes;
+            total.merge_pages_stepped += s.stats.merge_pages_stepped;
+            total.merge_stall_drains += s.stats.merge_stall_drains;
+        }
+        total
+    }
+
+    /// The conservative flush watermark: the *oldest* shard flush. Recovery
+    /// must replay host activity from the point where the *least* advanced
+    /// shard last emptied its buffer, so the aggregate watermark is the
+    /// minimum — any shard with a newer watermark simply re-absorbs
+    /// duplicates idempotently.
+    pub fn last_flush_seq(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(LogGecko::last_flush_seq)
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Per-shard flush watermarks, in shard order (recovery uses these to
+    /// bound each shard's buffer-refill window independently).
+    pub fn shard_flush_seqs(&self) -> Vec<u64> {
+        self.shards.iter().map(LogGecko::last_flush_seq).collect()
+    }
+
+    /// Total entries buffered across all shards.
+    pub fn buffer_len(&self) -> usize {
+        self.shards.iter().map(LogGecko::buffer_len).sum()
+    }
+
+    /// Total flash pages occupied by live runs across all shards.
+    pub fn total_run_pages(&self) -> u64 {
+        self.shards.iter().map(LogGecko::total_run_pages).sum()
+    }
+
+    /// Total live entries across all shards' runs.
+    pub fn total_run_entries(&self) -> u64 {
+        self.shards.iter().map(LogGecko::total_run_entries).sum()
+    }
+
+    /// All live runs of every shard (no global order guarantee — data-age
+    /// order is only meaningful within a shard).
+    pub fn all_runs(&self) -> impl Iterator<Item = &Run> {
+        self.shards.iter().flat_map(LogGecko::runs_newest_first)
+    }
+
+    /// Integrated-RAM footprint: sum of the shard trees'.
+    pub fn ram_bytes(&self) -> u64 {
+        self.shards.iter().map(LogGecko::ram_bytes).sum()
+    }
+
+    /// Report an invalidated physical page to its owning shard.
+    pub fn mark_invalid(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, ppn: Ppn) {
+        let shard = self.shard_of(self.geo.block_of(ppn));
+        self.shards[shard].mark_invalid(dev, sink, ppn);
+    }
+
+    /// Report an erased block to its owning shard.
+    pub fn note_erase(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, block: BlockId) {
+        let shard = self.shard_of(block);
+        self.shards[shard].note_erase(dev, sink, block);
+    }
+
+    /// GC query, routed to the owning shard.
+    pub fn gc_query(&mut self, dev: &mut FlashDevice, block: BlockId) -> Bitmap {
+        let shard = self.shard_of(block);
+        self.shards[shard].gc_query(dev, block)
+    }
+
+    /// GC query with an explicit IO purpose, routed to the owning shard.
+    pub fn gc_query_with_purpose(
+        &mut self,
+        dev: &mut FlashDevice,
+        block: BlockId,
+        purpose: IoPurpose,
+    ) -> Bitmap {
+        let shard = self.shard_of(block);
+        self.shards[shard].gc_query_with_purpose(dev, block, purpose)
+    }
+
+    /// Batched GC query: partition the victim list by shard, run each
+    /// shard's sub-batch (keeping that shard's probe coalescing), and
+    /// reassemble results in caller order.
+    pub fn gc_query_batch(&mut self, dev: &mut FlashDevice, blocks: &[BlockId]) -> Vec<Bitmap> {
+        self.gc_query_batch_with_purpose(dev, blocks, IoPurpose::ValidityQuery)
+    }
+
+    /// [`ShardedGecko::gc_query_batch`] with an explicit IO purpose.
+    pub fn gc_query_batch_with_purpose(
+        &mut self,
+        dev: &mut FlashDevice,
+        blocks: &[BlockId],
+        purpose: IoPurpose,
+    ) -> Vec<Bitmap> {
+        let n = self.shards.len();
+        let mut by_shard: Vec<Vec<(usize, BlockId)>> = vec![Vec::new(); n];
+        for (i, &b) in blocks.iter().enumerate() {
+            by_shard[self.shard_of(b)].push((i, b));
+        }
+        let mut results: Vec<Option<Bitmap>> = blocks.iter().map(|_| None).collect();
+        for (shard, group) in by_shard.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let sub: Vec<BlockId> = group.iter().map(|&(_, b)| b).collect();
+            let bitmaps = self.shards[shard].gc_query_batch_with_purpose(dev, &sub, purpose);
+            for ((i, _), bm) in group.into_iter().zip(bitmaps) {
+                results[i] = Some(bm);
+            }
+        }
+        results.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Linear-scan baseline query, routed to the owning shard.
+    pub fn gc_query_naive(&mut self, dev: &mut FlashDevice, block: BlockId) -> Bitmap {
+        let shard = self.shard_of(block);
+        self.shards[shard].gc_query_naive(dev, block)
+    }
+
+    /// Flush every shard's buffer. Shards flush independently in steady
+    /// state (each tracks its own fill); this forces all of them, for
+    /// shutdown/checkpoint quiescence.
+    pub fn flush(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink) {
+        for s in &mut self.shards {
+            s.flush(dev, sink);
+        }
+    }
+
+    /// Advance every shard's pending merge work by one bounded slice each,
+    /// inside **one** device overlap window: with `shards == channels`,
+    /// shard `i`'s page-IOs land on channel `i`'s lane, so the simulated
+    /// wall-clock charge for the whole sweep is the busiest lane — the
+    /// per-channel merge queues drain concurrently, which is the point of
+    /// sharding by channel. Returns `true` while any shard has work left.
+    pub fn pump_merges(
+        &mut self,
+        dev: &mut FlashDevice,
+        sink: &mut dyn MetaSink,
+        budget: u64,
+    ) -> bool {
+        let any_pending = self.shards.iter().any(|s| s.merge_jobs_pending() > 0);
+        if !any_pending {
+            return false;
+        }
+        dev.begin_overlap();
+        let mut more = false;
+        for s in &mut self.shards {
+            more |= s.pump_merges(dev, sink, budget);
+        }
+        dev.end_overlap();
+        more
+    }
+
+    /// Run all shards' pending merge work to completion (quiescence for
+    /// shutdown/recovery/tests). Delegates to each shard's drain so the
+    /// forced-stall accounting matches the single tree's exactly.
+    pub fn drain_merges(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink) {
+        if self.merge_jobs_pending() == 0 {
+            return;
+        }
+        dev.begin_overlap();
+        for s in &mut self.shards {
+            s.drain_merges(dev, sink);
+        }
+        dev.end_overlap();
+    }
+
+    /// Pending incremental merge work across all shards, in page-IOs.
+    pub fn merge_backlog_pages(&self) -> u64 {
+        self.shards.iter().map(LogGecko::merge_backlog_pages).sum()
+    }
+
+    /// Merge jobs queued or in flight across all shards.
+    pub fn merge_jobs_pending(&self) -> usize {
+        self.shards.iter().map(LogGecko::merge_jobs_pending).sum()
+    }
+
+    /// Unsealed merge-output pages across all shards (crash-orphan count).
+    pub fn unsealed_merge_pages(&self) -> u64 {
+        self.shards.iter().map(LogGecko::unsealed_merge_pages).sum()
+    }
+
+    /// BVC recovery scan: union of every shard's full-bitmap scan. Shards
+    /// partition the block space, so the per-shard maps are disjoint.
+    pub fn scan_all_bitmaps(
+        &mut self,
+        dev: &mut FlashDevice,
+        purpose: IoPurpose,
+    ) -> HashMap<BlockId, Bitmap> {
+        let mut all = HashMap::new();
+        for s in &mut self.shards {
+            all.extend(s.scan_all_bitmaps(dev, purpose));
+        }
+        all
+    }
+
+    /// Seed the owning shard's buffer with a recovered erase marker.
+    pub fn recover_erase_marker(&mut self, block: BlockId) {
+        let shard = self.shard_of(block);
+        self.shards[shard].recover_erase_marker(block);
+    }
+
+    /// Seed the owning shard's buffer with a recovered invalidation.
+    pub fn recover_invalidation(&mut self, ppn: Ppn) {
+        let shard = self.shard_of(self.geo.block_of(ppn));
+        self.shards[shard].recover_invalidation(ppn);
+    }
+}
+
+/// A [`ValidityStore`] façade over [`ShardedGecko`].
+impl ValidityStore for ShardedGecko {
+    fn mark_invalid(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, ppn: Ppn) {
+        ShardedGecko::mark_invalid(self, dev, sink, ppn);
+    }
+
+    fn mark_invalid_batch(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, ppns: &[Ppn]) {
+        // Partition by shard and forward each sub-batch whole, preserving
+        // the no-straddled-flush guarantee *within* each shard (each shard
+        // flushes on its own fill, so cross-shard atomicity is not a
+        // meaningful notion here).
+        let n = self.shards.len();
+        let mut by_shard: Vec<Vec<Ppn>> = vec![Vec::new(); n];
+        for &ppn in ppns {
+            by_shard[self.shard_of(self.geo.block_of(ppn))].push(ppn);
+        }
+        for (shard, group) in by_shard.into_iter().enumerate() {
+            if !group.is_empty() {
+                self.shards[shard].mark_invalid_batch(dev, sink, &group);
+            }
+        }
+    }
+
+    fn note_erase(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, block: BlockId) {
+        ShardedGecko::note_erase(self, dev, sink, block);
+    }
+
+    fn gc_query(
+        &mut self,
+        dev: &mut FlashDevice,
+        _sink: &mut dyn MetaSink,
+        block: BlockId,
+    ) -> Bitmap {
+        ShardedGecko::gc_query(self, dev, block)
+    }
+
+    fn gc_query_batch(
+        &mut self,
+        dev: &mut FlashDevice,
+        _sink: &mut dyn MetaSink,
+        blocks: &[BlockId],
+    ) -> Vec<Bitmap> {
+        ShardedGecko::gc_query_batch(self, dev, blocks)
+    }
+
+    fn ram_bytes(&self) -> u64 {
+        ShardedGecko::ram_bytes(self)
+    }
+
+    fn name(&self) -> &'static str {
+        "logarithmic-gecko-sharded"
+    }
+
+    fn flush(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink) {
+        ShardedGecko::flush(self, dev, sink);
+    }
+}

@@ -32,7 +32,9 @@
 use crate::cache::{CacheEntry, MappingCache};
 use crate::ftl::block_manager::{BlockGroup, BlockManager, BlockState};
 use crate::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
-use crate::gecko::{GeckoConfig, GeckoPagePayload, LogGecko, Run, RunDirEntry, RunId, RunMeta};
+use crate::gecko::{
+    GeckoConfig, GeckoPagePayload, LogGecko, Run, RunDirEntry, RunId, RunMeta, ShardedGecko,
+};
 use crate::translation::{TranslationPagePayload, TranslationTable};
 use flash_sim::{BlockId, FlashDevice, IoPurpose, MetaKind, PageOffset, Ppn, SpanKind, SpareInfo};
 use std::collections::{HashMap, HashSet};
@@ -229,19 +231,43 @@ pub fn gecko_recover(
 
     // ---- Step 3: run directories. ---------------------------------------
     let timer = StepTimer::start(&dev);
-    let runs = recover_runs(&mut dev, &bid);
-    let live_pages: HashSet<Ppn> = runs
+    // Under a sharded store, every run holds keys of exactly one shard
+    // (shards never share a tree), so its first key names the owning
+    // shard. Candidates MUST be partitioned by shard before liveness is
+    // judged: spans live in the global sequence space but merging is
+    // laminar only within a shard, so two shards' flush spans can nest
+    // without any supersession — a global containment walk would kill
+    // live runs. Each shard's tree is then reassembled independently,
+    // with its own flush watermark.
+    let shard_runs = recover_runs(&mut dev, &bid, gecko_cfg.shards);
+    let live_pages: HashSet<Ppn> = shard_runs
         .iter()
+        .flatten()
         .flat_map(|r| r.pages.iter().map(|p| p.ppn))
         .collect();
-    let mut gecko = LogGecko::from_recovered(geo, gecko_cfg, runs);
+    let mut gecko = if gecko_cfg.shards > 1 {
+        let trees = shard_runs
+            .into_iter()
+            .map(|rs| LogGecko::from_recovered(geo, gecko_cfg, rs))
+            .collect();
+        RecGecko::Sharded(ShardedGecko::from_shards(geo, trees))
+    } else {
+        let runs = shard_runs.into_iter().next().unwrap_or_default();
+        RecGecko::Single(Box::new(LogGecko::from_recovered(geo, gecko_cfg, runs)))
+    };
     report
         .steps
         .push((RecoveryStep::RunDirectories, timer.stop(&mut dev, 3)));
 
     // ---- Step 4: buffer. -------------------------------------------------
     let timer = StepTimer::start(&dev);
-    let threshold = gecko.last_flush_seq();
+    // The global replay horizon is the *minimum* shard watermark: steps 4b
+    // and 6 must re-derive reports for the least-advanced shard. A report
+    // routed to a shard that already flushed it is re-absorbed
+    // idempotently — the recovered bit is factually true (both checks
+    // below verify the invalidated page still holds the superseded data),
+    // and validity bits are OR-ed, so a duplicate changes no query answer.
+    let threshold = gecko.min_flush_seq();
     // 4a (C.2.1): blocks erased since the last flush get erase markers. The
     // erase timestamp is persisted in a spare area (Appendix D), read as
     // part of the step-1 scan.
@@ -249,8 +275,16 @@ pub fn gecko_recover(
         // The paper's rule: "all blocks that are free or whose first page
         // was written after this timestamp". The persisted erase timestamp
         // (Appendix D) expresses both cases directly.
-        let erased_since_flush = dev.erase_seq(b) > threshold
-            || bid[b.0 as usize].first_seq > threshold && bid[b.0 as usize].written > 0;
+        //
+        // The timestamp is the *owning shard's* watermark, not the global
+        // minimum: an erase marker masks every older entry for its block,
+        // so recreating one the owning shard had already persisted would
+        // hide post-erase invalidations that sit in that shard's runs.
+        // (Unlike plain invalidation bits, markers are not idempotent
+        // across a flush boundary.)
+        let b_threshold = gecko.flush_seq_for(b);
+        let erased_since_flush = dev.erase_seq(b) > b_threshold
+            || bid[b.0 as usize].first_seq > b_threshold && bid[b.0 as usize].written > 0;
         if erased_since_flush {
             gecko.recover_erase_marker(b);
             report.recovered_erases += 1;
@@ -486,13 +520,72 @@ pub fn gecko_recover(
     {
         cfg.checkpoint_period = Some(cfg.cache_entries as u64);
     }
-    let mut engine = FtlEngine::from_parts(dev, bm, tt, cache, ValidityBackend::Gecko(gecko), cfg);
+    let mut engine = FtlEngine::from_parts(dev, bm, tt, cache, gecko.into_backend(), cfg);
     // Entries that did not fit into the cache cannot wait for lazy
     // correction (dropping them could lose a dirty mapping): verify them
     // against the translation table immediately via ordinary
     // synchronization operations (mostly C.3.1 aborts).
     engine.resolve_recovered_overflow(overflow);
     (engine, report)
+}
+
+/// The tree(s) under reconstruction: a single-tree store or a per-channel
+/// sharded one. Thin routing shim so the eight steps read identically for
+/// both layouts; the differences (per-block vs global watermarks) are
+/// confined to the two accessors.
+enum RecGecko {
+    Single(Box<LogGecko>),
+    Sharded(ShardedGecko),
+}
+
+impl RecGecko {
+    /// The global replay horizon: the least-advanced shard's watermark.
+    fn min_flush_seq(&self) -> u64 {
+        match self {
+            RecGecko::Single(g) => g.last_flush_seq(),
+            RecGecko::Sharded(s) => s.last_flush_seq(),
+        }
+    }
+
+    /// The watermark governing `block`: its owning shard's.
+    fn flush_seq_for(&self, block: BlockId) -> u64 {
+        match self {
+            RecGecko::Single(g) => g.last_flush_seq(),
+            RecGecko::Sharded(s) => s.shard_flush_seqs()[s.shard_of(block)],
+        }
+    }
+
+    fn recover_erase_marker(&mut self, block: BlockId) {
+        match self {
+            RecGecko::Single(g) => g.recover_erase_marker(block),
+            RecGecko::Sharded(s) => s.recover_erase_marker(block),
+        }
+    }
+
+    fn recover_invalidation(&mut self, ppn: Ppn) {
+        match self {
+            RecGecko::Single(g) => g.recover_invalidation(ppn),
+            RecGecko::Sharded(s) => s.recover_invalidation(ppn),
+        }
+    }
+
+    fn scan_all_bitmaps(
+        &mut self,
+        dev: &mut FlashDevice,
+        purpose: IoPurpose,
+    ) -> HashMap<BlockId, crate::gecko::Bitmap> {
+        match self {
+            RecGecko::Single(g) => g.scan_all_bitmaps(dev, purpose),
+            RecGecko::Sharded(s) => s.scan_all_bitmaps(dev, purpose),
+        }
+    }
+
+    fn into_backend(self) -> ValidityBackend {
+        match self {
+            RecGecko::Single(g) => ValidityBackend::Gecko(*g),
+            RecGecko::Sharded(s) => ValidityBackend::Sharded(s),
+        }
+    }
 }
 
 fn read_tpage(dev: &mut FlashDevice, ppn: Ppn) -> TranslationPagePayload {
@@ -505,8 +598,11 @@ fn read_tpage(dev: &mut FlashDevice, ppn: Ppn) -> TranslationPagePayload {
 
 /// Recover the set of live runs (Appendix C.1): group Gecko pages by run ID
 /// via spare scans, read postambles/preambles, keep complete runs that were
-/// not merged into a newer live run.
-fn recover_runs(dev: &mut FlashDevice, bid: &[BidEntry]) -> Vec<Run> {
+/// not merged into a newer live run. Returns one bucket per shard (a single
+/// bucket when `shards == 1`): the liveness walk runs per shard because its
+/// evidence — `merged_from` lists and span containment — only relates runs
+/// of the same tree.
+fn recover_runs(dev: &mut FlashDevice, bid: &[BidEntry], shards: u32) -> Vec<Vec<Run>> {
     let geo = dev.geometry();
     // (seq, ppn) per run id, in write order.
     let mut run_pages: HashMap<u64, Vec<(u64, Ppn)>> = HashMap::new();
@@ -588,54 +684,78 @@ fn recover_runs(dev: &mut FlashDevice, bid: &[BidEntry]) -> Vec<Run> {
         });
     }
 
-    // Liveness: walk newest-first, separating live runs from merged-away
-    // leftovers (a retired input's postamble survives until its block
-    // happens to be erased). Two complementary pieces of evidence, both
-    // persisted in the preambles:
+    // Partition by owning shard before judging liveness. Every run's keys
+    // belong to one shard, so its first directory key names the owner.
+    let n = shards.max(1) as usize;
+    let mut per_shard: Vec<Vec<Candidate>> = (0..n).map(|_| Vec::new()).collect();
+    for c in candidates {
+        let shard = (c.pages[0].first.block.0 % n as u32) as usize;
+        per_shard[shard].push(c);
+    }
+
+    // Liveness, per shard: walk newest-first, separating live runs from
+    // merged-away leftovers (a retired input's postamble survives until its
+    // block happens to be erased). Two complementary pieces of evidence,
+    // both persisted in the preambles:
     //
     // * `merged_from` — exact: every run a sealed output names as input is
     //   dead, its entries live on in the output. A sealed run contributes
     //   its input list whether or not it is itself still live (a dead
     //   intermediate's inputs died before it did).
-    // * `[supersedes_since, supersedes_upto]` — transitive closure: every
-    //   *indirect* input was created inside this interval, so the interval
-    //   identifies leftovers whose direct superseder has already been
-    //   erased from flash (taking its `merged_from` list with it).
+    // * span containment — transitive: merging is laminar and live spans
+    //   are pairwise disjoint (scheduler invariant 4), so a candidate is a
+    //   merged-away leftover **iff** its `[supersedes_since,
+    //   supersedes_upto]` span is strictly contained in a *live*
+    //   candidate's span. This catches leftovers whose direct superseder
+    //   has already been erased from flash (taking its `merged_from` list
+    //   with it): the newest sealed output of any merge chain is still on
+    //   flash (live pages are never obsoleted before their run is merged
+    //   away) and its span contains every leftover below it.
     //
-    // The interval's upper bound is the newest direct input, NOT the
-    // output's own creation time: with incremental merging, buffer flushes
-    // land *while* a merge is in flight, and those flush runs — created
-    // after every input of the merge, so past `supersedes_upto` — are live
-    // and carry reports nothing else has. Widening the interval to
-    // `created_seq` is exactly the bug that loses them.
-    candidates.sort_by_key(|c| std::cmp::Reverse(c.meta.created_seq));
-    let mut dead: HashSet<RunId> = HashSet::new();
-    let mut intervals: Vec<(u64, u64)> = Vec::new();
-    let mut live: Vec<Run> = Vec::new();
-    for c in candidates {
-        let gone = dead.contains(&c.meta.id)
-            || intervals
-                .iter()
-                .any(|&(since, upto)| since <= c.meta.created_seq && c.meta.created_seq <= upto);
-        // Newer runs' evidence applies to older candidates only (inputs
-        // predate their output), so recording this candidate's own evidence
-        // after testing it cannot misjudge it.
-        dead.extend(c.meta.merged_from.iter().copied());
-        if c.meta.supersedes_since < c.meta.created_seq {
-            intervals.push((c.meta.supersedes_since, c.meta.supersedes_upto));
-        }
-        if gone {
-            continue;
-        }
-        // Bloom filters are RAM-only and not persisted; recovered runs carry
-        // none (queries stay correct at the paper's probe-per-run bound)
-        // until merges rebuild them.
-        live.push(Run {
-            meta: c.meta,
-            pages: c.pages,
-            entry_count: c.entry_count,
-            filter: None,
-        });
-    }
-    live
+    // Containment tests the candidate's *span*, never its own creation
+    // time: output identities are reserved at plan time, so a job reserved
+    // early can seal with a `created_seq` lying inside a later-planned
+    // job's span even though its data (old runs, disjoint span) was never
+    // folded there. Testing `created_seq ∈ superseder interval` — sound
+    // back when a tree drained all pending work before every flush — would
+    // now kill such runs and silently revive stale validity bits.
+    //
+    // Newest-first order guarantees containers are accepted before their
+    // leftovers are tested: a reservation happens after every transitive
+    // input already exists, so a container's `created_seq` exceeds theirs.
+    per_shard
+        .into_iter()
+        .map(|mut candidates| {
+            candidates.sort_by_key(|c| std::cmp::Reverse(c.meta.created_seq));
+            let mut dead: HashSet<RunId> = HashSet::new();
+            let mut live_spans: Vec<(u64, u64)> = Vec::new();
+            let mut live: Vec<Run> = Vec::new();
+            for c in candidates {
+                let (since, upto) = c.meta.span();
+                let gone = dead.contains(&c.meta.id)
+                    || live_spans
+                        .iter()
+                        .any(|&(lo, hi)| lo <= since && upto <= hi && (lo, hi) != (since, upto));
+                // Exact evidence applies regardless of the witness's own
+                // fate (a dead intermediate's inputs died before it did);
+                // inputs predate their output, so recording it after
+                // testing cannot misjudge.
+                dead.extend(c.meta.merged_from.iter().copied());
+                if gone {
+                    continue;
+                }
+                live_spans.push((since, upto));
+                // Bloom filters are RAM-only and not persisted; recovered
+                // runs carry none (queries stay correct at the paper's
+                // probe-per-run bound) until merges rebuild them.
+                live.push(Run {
+                    meta: c.meta,
+                    pages: c.pages,
+                    entry_count: c.entry_count,
+                    filter: None,
+                });
+            }
+            live
+        })
+        .collect()
 }

@@ -37,7 +37,11 @@ pub trait MetaSink {
 
 /// A page-validity store: the component every FTL uses to track invalid
 /// pages of **user blocks**.
-pub trait ValidityStore {
+///
+/// `Send` is a supertrait so an engine holding a boxed store can move into
+/// the [`crate::ftl::ConcurrentFtl`] front-end's lock; stores are plain
+/// data, so this costs implementors nothing.
+pub trait ValidityStore: Send {
     /// Report that physical page `ppn` no longer holds live data
     /// (Algorithm 1 for Logarithmic Gecko; a bitmap update for PVB).
     fn mark_invalid(&mut self, dev: &mut FlashDevice, sink: &mut dyn MetaSink, ppn: Ppn);

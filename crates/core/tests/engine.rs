@@ -374,3 +374,54 @@ fn crash_immediately_after_single_write() {
     assert_eq!(recovered.read(Lpn(5)), Some(42));
     assert_eq!(recovered.read(Lpn(6)), None);
 }
+
+/// The GC victim-sequence A/B pin: the query fast path (Bloom filters +
+/// batched bitmap prefetch) must not change *which* blocks GC collects,
+/// only how their bitmaps are fetched. The burst plan is built for both
+/// variants, so from identical workloads both must produce the identical
+/// victim sequence — and therefore identical GC operation counts. (The
+/// regression this pins: planning only on the fast path let the clustered
+/// tie-break diverge from plain greedy, e.g. 495 vs 494 GC operations in
+/// BENCH_gecko_query from the same seed.)
+#[test]
+fn fast_path_and_naive_gc_collect_identical_victim_sequences() {
+    let build = |fast_path: bool| {
+        let geo = Geometry::tiny();
+        let cfg = FtlConfig {
+            cache_entries: 64,
+            gc_free_threshold: 8,
+            gc_policy: GcPolicy::MetadataAware,
+            recovery: RecoveryPolicy::CheckpointDeferred,
+            checkpoint_period: None,
+        };
+        let gecko = LogGecko::new(
+            geo,
+            GeckoConfig {
+                page_header_bytes: geo.page_bytes - 64,
+                fast_path,
+                ..GeckoConfig::paper_default(&geo)
+            },
+        );
+        FtlEngine::format(geo, cfg, ValidityBackend::Gecko(gecko))
+    };
+    let mut fast = build(true);
+    let mut naive = build(false);
+    let mut fast_oracle = HashMap::new();
+    let mut naive_oracle = HashMap::new();
+    let mut rng_f = Lcg(0x6C);
+    let mut rng_n = Lcg(0x6C);
+    run_workload(&mut fast, &mut fast_oracle, &mut rng_f, 8000);
+    run_workload(&mut naive, &mut naive_oracle, &mut rng_n, 8000);
+    assert!(
+        fast.counters.gc_operations > 50,
+        "GC must run enough to expose ordering divergence"
+    );
+    assert_eq!(
+        fast.gc_victim_log, naive.gc_victim_log,
+        "fast path and linear-scan baseline must collect the same victims"
+    );
+    assert_eq!(fast.counters.gc_operations, naive.counters.gc_operations);
+    assert_eq!(fast.counters.gc_migrations, naive.counters.gc_migrations);
+    verify_all(&mut fast, &fast_oracle);
+    verify_all(&mut naive, &naive_oracle);
+}

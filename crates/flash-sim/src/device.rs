@@ -28,6 +28,12 @@ pub struct FlashDevice {
     /// Per-channel accumulated latency of the overlap window in flight
     /// (`None` outside a window). See [`FlashDevice::begin_overlap`].
     overlap_lanes: Option<Vec<f64>>,
+    /// Nesting depth of overlap windows: inner `begin`/`end` pairs join the
+    /// outermost window's lanes, and only the outermost `end` advances the
+    /// clock. This is how per-channel time domains compose: each shard's
+    /// merge pump opens its own window, and a multi-shard pump wraps them
+    /// all in one outer window — the sync point where the domains join.
+    overlap_depth: u32,
     /// Scheduled hardware faults (see [`crate::fault`]).
     fault: FaultPlan,
     /// Faults actually delivered so far.
@@ -69,6 +75,7 @@ impl FlashDevice {
             seq: 1,
             erase_budget: None,
             overlap_lanes: None,
+            overlap_depth: 0,
             fault: FaultPlan::default(),
             fault_stats: FaultStats::default(),
             writes_attempted: 0,
@@ -88,15 +95,28 @@ impl FlashDevice {
     /// across `Geometry::channels` shows up as parallel in simulated time.
     ///
     /// IO counts and per-purpose busy time are recorded exactly as outside
-    /// a window; only the clock sees the overlap. Windows do not nest.
+    /// a window; only the clock sees the overlap. Windows nest: an inner
+    /// `begin`/`end` pair joins the outermost window's lanes instead of
+    /// opening fresh ones, so independent work wrapped in one outer window
+    /// (e.g. several validity shards' merge pumps) overlaps across channels
+    /// while same-channel work still serializes.
     pub fn begin_overlap(&mut self) {
-        assert!(self.overlap_lanes.is_none(), "overlap windows do not nest");
-        self.overlap_lanes = Some(vec![0.0; self.geo.channels as usize]);
+        self.overlap_depth += 1;
+        if self.overlap_lanes.is_none() {
+            self.overlap_lanes = Some(vec![0.0; self.geo.channels as usize]);
+        }
     }
 
-    /// Close the overlap window and advance the clock by the busiest
-    /// channel's accumulated latency. Returns that elapsed time in µs.
+    /// Close one overlap window level. The outermost close — the sync point
+    /// where the per-channel time domains join — advances the clock by the
+    /// busiest channel's accumulated latency and returns that elapsed time
+    /// in µs; inner closes return 0 and leave the lanes accumulating.
     pub fn end_overlap(&mut self) -> f64 {
+        assert!(self.overlap_depth > 0, "end_overlap without begin_overlap");
+        self.overlap_depth -= 1;
+        if self.overlap_depth > 0 {
+            return 0.0;
+        }
         let lanes = self
             .overlap_lanes
             .take()
@@ -181,6 +201,21 @@ impl FlashDevice {
         let s = self.seq;
         self.seq += 1;
         s
+    }
+
+    /// Reserve and consume one sequence number without performing IO.
+    ///
+    /// Used to mint run identities at merge *plan* time, so several merge
+    /// jobs can be in flight per validity tree without two write phases
+    /// minting the same id from `now_seq`. The reservation advances the
+    /// sequence, which is what keeps reserved ids unique against crashes:
+    /// every page programmed after a reservation `R` carries a spare
+    /// sequence `> R`, so no later-minted identity can collide with `R`.
+    /// (The simulator's crash image clones the counter; real firmware
+    /// re-deriving its sequence from the max spare seq after power loss
+    /// regains the same guarantee by skipping ahead of it.)
+    pub fn reserve_seq(&mut self) -> u64 {
+        self.bump_seq()
     }
 
     fn check_block(&self, block: BlockId) -> Result<()> {
