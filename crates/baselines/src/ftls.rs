@@ -83,6 +83,7 @@ pub fn build(kind: BaselineKind, geo: Geometry) -> FtlEngine {
             gc_policy: kind.gc_policy(),
             recovery: kind.recovery_policy(),
             checkpoint_period: None,
+            qos_headroom_blocks: 0,
         },
     )
 }

@@ -24,6 +24,7 @@ fn cfg(geo: &Geometry, policy: GcPolicy, recovery: RecoveryPolicy) -> FtlConfig 
         gc_policy: policy,
         recovery,
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     }
 }
 
@@ -203,6 +204,7 @@ fn recovery(c: &mut Criterion) {
                         gc_policy: GcPolicy::MetadataAware,
                         recovery: RecoveryPolicy::CheckpointDeferred,
                         checkpoint_period: None,
+                        qos_headroom_blocks: 0,
                     },
                     gecko_cfg,
                 );

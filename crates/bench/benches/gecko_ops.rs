@@ -171,7 +171,7 @@ fn bench_translation_sync(c: &mut Criterion) {
                 })
                 .collect();
             x = x.wrapping_add(17);
-            black_box(tt.synchronize(&mut dev, &mut bm, 0, &updates, false));
+            black_box(tt.synchronize(&mut dev, &mut bm, 0, &updates));
         });
     });
 }

@@ -20,6 +20,7 @@ fn base_cfg(geo: &flash_sim::Geometry) -> FtlConfig {
         gc_policy: GcPolicy::MetadataAware,
         recovery: RecoveryPolicy::CheckpointDeferred,
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     }
 }
 

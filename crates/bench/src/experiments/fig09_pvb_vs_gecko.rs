@@ -38,6 +38,7 @@ pub fn run() -> Vec<Table> {
         gc_policy: GcPolicy::MetadataAware,
         recovery: RecoveryPolicy::CheckpointDeferred,
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     };
 
     let mut per_interval = Table::new(

@@ -30,6 +30,7 @@ pub fn run() -> Vec<Table> {
                 gc_policy: GcPolicy::MetadataAware,
                 recovery: RecoveryPolicy::CheckpointDeferred,
                 checkpoint_period: None,
+                qos_headroom_blocks: 0,
             };
             let mut engine = build_geckoftl_tuned(geo, cfg, gecko_cfg);
             let v = gecko_cfg.entries_per_page(&geo);

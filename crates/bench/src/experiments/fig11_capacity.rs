@@ -33,6 +33,7 @@ pub fn run() -> Vec<Table> {
             gc_policy: GcPolicy::MetadataAware,
             recovery: RecoveryPolicy::CheckpointDeferred,
             checkpoint_period: None,
+            qos_headroom_blocks: 0,
         };
         let mut gecko = build_geckoftl_tuned(geo, cfg, GeckoConfig::paper_default(&geo));
         let gecko_wa = measure_uniform(&mut gecko, 40_000, 21)

@@ -31,6 +31,7 @@ pub fn run() -> Vec<Table> {
             gc_policy: GcPolicy::MetadataAware,
             recovery: RecoveryPolicy::CheckpointDeferred,
             checkpoint_period: None,
+            qos_headroom_blocks: 0,
         };
         let mut engine = build_geckoftl_tuned(geo, cfg, GeckoConfig::paper_default(&geo));
         let gcs_before = engine.counters.gc_operations;

@@ -65,6 +65,7 @@ pub fn run() -> Vec<Table> {
                 _ => RecoveryPolicy::Battery,
             },
             checkpoint_period: None,
+            qos_headroom_blocks: 0,
         };
         let mut engine = build_with(kind, geo, cfg);
         fill_sequential(&mut engine);

@@ -157,6 +157,7 @@ fn run_variant(
         gc_policy: GcPolicy::MetadataAware,
         recovery: RecoveryPolicy::CheckpointDeferred,
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     };
     let mut engine = build_geckoftl_tuned(geo, cfg, gecko_cfg(sync_merge));
     fill_sequential(&mut engine);
@@ -175,6 +176,9 @@ fn run_variant(
             }
             WorkloadOp::Read(lpn) => {
                 let _ = engine.read(lpn);
+            }
+            WorkloadOp::Trim(lpn) => {
+                engine.trim(lpn);
             }
             WorkloadOp::Idle(ticks) => {
                 for _ in 0..ticks {
@@ -214,6 +218,9 @@ fn run_variant(
                 let before_us = engine.device().clock().now_us();
                 let _ = engine.read(lpn);
                 read_lat.record(engine.device().clock().now_us() - before_us);
+            }
+            WorkloadOp::Trim(lpn) => {
+                engine.trim(lpn); // Mixed never emits TRIMs; exhaustiveness only
             }
             WorkloadOp::Idle(ticks) => {
                 for _ in 0..ticks {

@@ -15,6 +15,7 @@ pub mod fig14_ram_utilization;
 pub mod gecko_query;
 pub mod merge_latency;
 pub mod mixed_workload;
+pub mod multi_tenant;
 pub mod recovery_exp;
 pub mod table1_costs;
 
@@ -86,6 +87,11 @@ pub const ALL: &[Experiment] = &[
         slug: "merge_latency",
         what: "write-latency tail: sync vs incremental merges; emits BENCH_merge_latency.json",
         run: merge_latency::run,
+    },
+    Experiment {
+        slug: "multi_tenant",
+        what: "per-tenant QoS isolation under a noisy neighbour; emits BENCH_multi_tenant.json",
+        run: multi_tenant::run,
     },
     Experiment {
         slug: "fuzz",

@@ -19,6 +19,7 @@ pub fn run() -> Vec<Table> {
         gc_policy: GcPolicy::MetadataAware,
         recovery: RecoveryPolicy::CheckpointDeferred,
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     };
     let gecko_cfg = GeckoConfig::paper_default(&geo);
     let mut engine = build_geckoftl_tuned(geo, cfg, gecko_cfg);

@@ -52,6 +52,7 @@ pub fn run() -> Vec<Table> {
         gc_policy: kind.gc_policy(),
         recovery: kind.recovery_policy(),
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     };
     let mut e = Table::new(
         "Table 1 (empirical) — measured validity IO per logical update (simulation)",

@@ -23,7 +23,9 @@ pub mod replay;
 pub mod scenario;
 
 pub use minimize::minimize;
-pub use mutate::{mutate, seed_bursty, seed_storm, seed_uniform, MutateBounds};
+pub use mutate::{
+    crossover, mutate, seed_bursty, seed_storm, seed_trim_wave, seed_uniform, MutateBounds,
+};
 pub use replay::{replay, replay_corpus, Fitness, Outcome};
 pub use scenario::Scenario;
 
@@ -70,15 +72,17 @@ pub fn campaign(seed: u64, budget: Budget) -> Vec<Table> {
     };
     let mut rng = StdRng::seed_from_u64(seed);
 
-    // Seed population: three workload shapes, clean and faulty. The faulty
+    // Seed population: four workload shapes, clean and faulty. The faulty
     // triplet schedules every fault kind at attempt indices a trace of this
     // size is certain to reach, so each campaign exercises torn writes,
     // program/erase failures, erase crashes and a boundary power cut even
-    // before mutation gets a vote.
+    // before mutation gets a vote. The trim-wave seed stresses the
+    // erase-marker / durable-unmap path from round zero.
     let mut seeds = vec![
         seed_uniform(&mut rng, &bounds, budget.trace_ops),
         seed_storm(&mut rng, &bounds, budget.trace_ops),
         seed_bursty(&mut rng, &bounds, budget.trace_ops),
+        seed_trim_wave(&mut rng, &bounds, budget.trace_ops),
     ];
     let writes = |sc: &Scenario| sc.trace.writes() as u64;
     let mut faulty = seeds[0].clone();
@@ -157,7 +161,15 @@ pub fn campaign(seed: u64, budget: Budget) -> Vec<Table> {
         // Rotate the optimization target so every signal gets search effort.
         let signal = round % SIGNALS.len();
         let parent = hall[signal].0.clone();
-        let child = mutate(&parent, &mut rng, &bounds);
+        // Every few rounds, splice the target's champion with another
+        // signal's champion instead of point-mutating: crossover jumps the
+        // search between basins separate lineages found.
+        let child = if round % 5 == 4 && hall.len() > 1 {
+            let donor = &hall[(signal + 1 + round % (hall.len() - 1)) % hall.len()].0;
+            crossover(&parent, donor, &mut rng, &bounds)
+        } else {
+            mutate(&parent, &mut rng, &bounds)
+        };
         let out = replay(&child);
         scenarios += 1;
         absorb(child, out, &mut hall, &mut failures);

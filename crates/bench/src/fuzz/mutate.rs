@@ -2,10 +2,12 @@
 //! fuzzer.
 //!
 //! Every mutation is a small, deterministic edit of a [`Scenario`] — op
-//! kind/key point edits, TRIM-less overwrite storms, key-skew remaps, idle
-//! gaps, fault-plan edits (add/move/drop a write or erase fault), crash
-//! point edits, truncation/extension. All randomness flows from the caller's
-//! seeded [`StdRng`], so a fuzz run is reproducible from its seed alone.
+//! kind/key point edits (including TRIMs), overwrite storms, TRIM waves,
+//! key-skew remaps, idle gaps, fault-plan edits (add/move/drop a write or
+//! erase fault), crash point edits, truncation/extension — plus
+//! [`crossover`], which splices two corpus parents. All randomness flows
+//! from the caller's seeded [`StdRng`], so a fuzz run is reproducible from
+//! its seed alone.
 
 use super::scenario::Scenario;
 use flash_sim::{EraseFault, Lpn, WriteFault};
@@ -57,6 +59,29 @@ pub fn seed_storm(rng: &mut StdRng, b: &MutateBounds, n: usize) -> Scenario {
     Scenario::from_trace(trace)
 }
 
+/// A seed scenario: TRIM waves — regions written sequentially, then
+/// discarded wholesale, interleaved with uniform traffic. Stresses the
+/// erase-marker path and trim-vs-GC interleavings.
+pub fn seed_trim_wave(rng: &mut StdRng, b: &MutateBounds, n: usize) -> Scenario {
+    let mut trace = Trace::default();
+    let mut left = n;
+    while left > 0 {
+        let region = rng.gen_range(8u32..48.min(b.logical_pages));
+        let base = rng.gen_range(0u32..b.logical_pages - region);
+        for i in 0..region.min(left as u32) {
+            trace.push(WorkloadOp::Write(Lpn(base + i)));
+        }
+        for i in 0..region.min(left as u32) {
+            trace.push(WorkloadOp::Trim(Lpn(base + i)));
+        }
+        for _ in 0..16.min(left) {
+            trace.push(WorkloadOp::Write(Lpn(rng.gen_range(0u32..b.logical_pages))));
+        }
+        left = left.saturating_sub(region as usize * 2 + 16);
+    }
+    Scenario::from_trace(trace)
+}
+
 /// A seed scenario: bursts of writes separated by idle gaps, so merge work
 /// happens off the write path and crash points land inside idle merges.
 pub fn seed_bursty(rng: &mut StdRng, b: &MutateBounds, n: usize) -> Scenario {
@@ -76,14 +101,15 @@ pub fn seed_bursty(rng: &mut StdRng, b: &MutateBounds, n: usize) -> Scenario {
 fn mutate_ops(sc: &mut Scenario, rng: &mut StdRng, b: &MutateBounds) {
     let ops: Vec<WorkloadOp> = sc.trace.ops().to_vec();
     let mut ops = ops;
-    match rng.gen_range(0u32..5) {
+    match rng.gen_range(0u32..6) {
         // Point edit: rewrite one op's key or kind.
         0 if !ops.is_empty() => {
             let i = rng.gen_range(0usize..ops.len());
             let lpn = Lpn(rng.gen_range(0u32..b.logical_pages));
-            ops[i] = match rng.gen_range(0u32..3) {
+            ops[i] = match rng.gen_range(0u32..4) {
                 0 => WorkloadOp::Write(lpn),
                 1 => WorkloadOp::Read(lpn),
+                2 => WorkloadOp::Trim(lpn),
                 _ => WorkloadOp::Idle(rng.gen_range(1u32..60)),
             };
         }
@@ -114,11 +140,23 @@ fn mutate_ops(sc: &mut Scenario, rng: &mut StdRng, b: &MutateBounds) {
             let base = rng.gen_range(0u32..b.logical_pages - band);
             for op in &mut ops[start..end] {
                 match op {
-                    WorkloadOp::Write(l) => *l = Lpn(base + l.0 % band),
-                    WorkloadOp::Read(l) => *l = Lpn(base + l.0 % band),
+                    WorkloadOp::Write(l) | WorkloadOp::Read(l) | WorkloadOp::Trim(l) => {
+                        *l = Lpn(base + l.0 % band)
+                    }
                     WorkloadOp::Idle(_) => {}
                 }
             }
+        }
+        // Inject a TRIM wave: discard a contiguous just-written region.
+        4 => {
+            let region = rng.gen_range(4u32..32.min(b.logical_pages));
+            let base = rng.gen_range(0u32..b.logical_pages - region);
+            let at = rng.gen_range(0usize..ops.len() + 1);
+            let wave: Vec<WorkloadOp> = (0..region)
+                .map(|i| WorkloadOp::Write(Lpn(base + i)))
+                .chain((0..region).map(|i| WorkloadOp::Trim(Lpn(base + i))))
+                .collect();
+            ops.splice(at..at, wave);
         }
         // Truncate or extend.
         _ => {
@@ -207,6 +245,40 @@ pub fn mutate(parent: &Scenario, rng: &mut StdRng, b: &MutateBounds) -> Scenario
     sc
 }
 
+/// Splice two parents: a prefix of `a`'s trace followed by a suffix of
+/// `b`'s, with `a`'s fault plan and a crash point re-drawn inside the
+/// child. Crossover jumps the search between basins two lineages found
+/// separately — e.g. `a`'s GC-pressure prefix into `b`'s trim-wave tail.
+pub fn crossover(a: &Scenario, b: &Scenario, rng: &mut StdRng, bounds: &MutateBounds) -> Scenario {
+    let a_ops = a.trace.ops();
+    let b_ops = b.trace.ops();
+    let cut_a = if a_ops.is_empty() {
+        0
+    } else {
+        rng.gen_range(0usize..a_ops.len() + 1)
+    };
+    let cut_b = if b_ops.is_empty() {
+        0
+    } else {
+        rng.gen_range(0usize..b_ops.len())
+    };
+    let mut ops: Vec<WorkloadOp> = a_ops[..cut_a].to_vec();
+    ops.extend_from_slice(&b_ops[cut_b..]);
+    if ops.len() > bounds.max_ops {
+        ops.truncate(bounds.max_ops);
+    }
+    let mut child = Scenario::from_trace(Trace::from_ops(ops));
+    child.cache_entries = if rng.gen_bool(0.5) {
+        a.cache_entries
+    } else {
+        b.cache_entries
+    };
+    child.write_faults = a.write_faults.clone();
+    child.erase_faults = a.erase_faults.clone();
+    mutate_crash_point(&mut child, rng);
+    child
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,6 +297,31 @@ mod tests {
         };
         assert_eq!(mk(9), mk(9));
         assert_ne!(mk(9), mk(10));
+    }
+
+    #[test]
+    fn crossover_splices_and_round_trips() {
+        let b = MutateBounds::default();
+        let mut rng = StdRng::seed_from_u64(7);
+        let pa = seed_storm(&mut rng, &b, 200);
+        let pb = seed_trim_wave(&mut rng, &b, 200);
+        let child = crossover(&pa, &pb, &mut rng, &b);
+        assert!(child.op_count() > 0);
+        assert!(child.op_count() <= b.max_ops);
+        // The child keeps parent a's fault plan and is fully serializable.
+        assert_eq!(child.write_faults, pa.write_faults);
+        let rt = Scenario::from_text(&child.to_text()).expect("round trip");
+        assert_eq!(rt.to_text(), child.to_text());
+    }
+
+    #[test]
+    fn trim_wave_seed_contains_trims() {
+        let b = MutateBounds::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let sc = seed_trim_wave(&mut rng, &b, 400);
+        assert!(sc.trace.trims() > 0, "wave seed must emit TRIMs");
+        let rt = Scenario::from_text(&sc.to_text()).expect("round trip");
+        assert_eq!(rt.to_text(), sc.to_text());
     }
 
     #[test]

@@ -33,7 +33,7 @@ use geckoftl_core::ftl::metrics::wa_total;
 use geckoftl_core::ftl::{FtlConfig, FtlEngine, GcPolicy, RecoveryPolicy, ValidityBackend};
 use geckoftl_core::gecko::GeckoConfig;
 use geckoftl_core::recovery::gecko_recover;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Ring capacity for replay telemetry. Spans/IO events beyond this are
 /// dropped oldest-first, which never affects fitness: the signals below come
@@ -90,6 +90,7 @@ fn engine_for(sc: &Scenario, shards: u32) -> FtlEngine {
         gc_policy: GcPolicy::MetadataAware,
         recovery: RecoveryPolicy::CheckpointDeferred,
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     };
     let gecko_cfg = GeckoConfig {
         page_header_bytes: geo.page_bytes - 64, // force real flush/merge activity
@@ -130,11 +131,14 @@ fn recover_engine(
 
 /// Verify every acknowledged write against the recovered engine, treating
 /// `inflight` (the op interrupted mid-flight, if any) as allowed to hold
-/// either its old or its new value.
+/// either its old value or its new one — `Some(v)` for a write, `None` for
+/// a TRIM. Acknowledged trims (`trimmed`, minus pages rewritten since) must
+/// stay unmapped: a durable TRIM that resurrects after a crash is a bug.
 fn verify_recovered(
     engine: &mut FtlEngine,
     oracle: &BTreeMap<u32, u64>,
-    inflight: Option<(Lpn, u64)>,
+    trimmed: &BTreeSet<u32>,
+    inflight: Option<(Lpn, Option<u64>)>,
 ) -> Result<(), String> {
     for (&l, &want) in oracle {
         if inflight.is_some_and(|(il, _)| il.0 == l) {
@@ -147,12 +151,23 @@ fn verify_recovered(
             ));
         }
     }
+    for &l in trimmed {
+        if inflight.is_some_and(|(il, _)| il.0 == l) {
+            continue;
+        }
+        let got = engine.read(Lpn(l));
+        if got.is_some() {
+            return Err(format!(
+                "post-recovery read of trimmed L{l}: got {got:?}, want None (resurrection)"
+            ));
+        }
+    }
     if let Some((lpn, new_version)) = inflight {
         let old = oracle.get(&lpn.0).copied();
         let got = engine.read(lpn);
-        if got != old && got != Some(new_version) {
+        if got != old && got != new_version {
             return Err(format!(
-                "in-flight L{} must read old ({old:?}) or new (Some({new_version})), got {got:?}",
+                "in-flight L{} must read old ({old:?}) or new ({new_version:?}), got {got:?}",
                 lpn.0
             ));
         }
@@ -178,6 +193,7 @@ pub fn replay_with_shards(sc: &Scenario, shards: u32) -> Outcome {
     let start_metrics = engine.metrics();
 
     let mut oracle: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut trimmed: BTreeSet<u32> = BTreeSet::new();
     let mut version = 0u64;
     let mut fitness = Fitness::default();
     let mut crashed = false;
@@ -192,7 +208,7 @@ pub fn replay_with_shards(sc: &Scenario, shards: u32) -> Outcome {
             let (rec, rec_us) = recover_engine(dev, cfg, gecko_cfg);
             engine = rec;
             fitness.recovery_us = rec_us;
-            if let Err(e) = verify_recovered(&mut engine, &oracle, None) {
+            if let Err(e) = verify_recovered(&mut engine, &oracle, &trimmed, None) {
                 return Outcome::fail(
                     format!("boundary crash before op {i}: {e}"),
                     fitness,
@@ -202,7 +218,7 @@ pub fn replay_with_shards(sc: &Scenario, shards: u32) -> Outcome {
             }
         }
         // Execute the op on the live engine.
-        let mut this_write: Option<(Lpn, u64)> = None;
+        let mut this_op: Option<(Lpn, Option<u64>)> = None;
         match op {
             WorkloadOp::Write(l) => {
                 let lpn = Lpn(l.0 % logical);
@@ -211,7 +227,12 @@ pub fn replay_with_shards(sc: &Scenario, shards: u32) -> Outcome {
                 // histogram max is folded into the fitness at engine
                 // hand-offs and at the end of the run.
                 engine.write(lpn, version);
-                this_write = Some((lpn, version));
+                this_op = Some((lpn, Some(version)));
+            }
+            WorkloadOp::Trim(l) => {
+                let lpn = Lpn(l.0 % logical);
+                engine.trim(lpn);
+                this_op = Some((lpn, None));
             }
             WorkloadOp::Read(l) => {
                 let lpn = Lpn(l.0 % logical);
@@ -247,7 +268,7 @@ pub fn replay_with_shards(sc: &Scenario, shards: u32) -> Outcome {
             let (rec, rec_us) = recover_engine(image, cfg, gecko_cfg);
             engine = rec;
             fitness.recovery_us = fitness.recovery_us.max(rec_us);
-            if let Err(e) = verify_recovered(&mut engine, &oracle, this_write) {
+            if let Err(e) = verify_recovered(&mut engine, &oracle, &trimmed, this_op) {
                 return Outcome::fail(
                     format!("crash image at op {i}: {e}"),
                     fitness,
@@ -255,17 +276,31 @@ pub fn replay_with_shards(sc: &Scenario, shards: u32) -> Outcome {
                     faults,
                 );
             }
-            // Re-issue the interrupted write, as a retrying host would. The
-            // retry is not a measured host write (it never was), so its span
+            // Re-issue the interrupted op, as a retrying host would. The
+            // retry is not a measured host op (it never was), so its span
             // is suppressed.
-            if let Some((lpn, v)) = this_write {
+            if let Some((lpn, v)) = this_op {
                 engine.telemetry_mut().set_enabled(false);
-                engine.write(lpn, v);
+                match v {
+                    Some(v) => engine.write(lpn, v),
+                    None => {
+                        engine.trim(lpn);
+                    }
+                }
                 engine.telemetry_mut().set_enabled(true);
             }
         }
-        if let Some((lpn, v)) = this_write {
-            oracle.insert(lpn.0, v); // acknowledged (or re-issued) now
+        // Acknowledged (or re-issued) now.
+        match this_op {
+            Some((lpn, Some(v))) => {
+                oracle.insert(lpn.0, v);
+                trimmed.remove(&lpn.0);
+            }
+            Some((lpn, None)) => {
+                oracle.remove(&lpn.0);
+                trimmed.insert(lpn.0);
+            }
+            None => {}
         }
     }
 
@@ -283,6 +318,17 @@ pub fn replay_with_shards(sc: &Scenario, shards: u32) -> Outcome {
         if got != Some(want) {
             return Outcome::fail(
                 format!("final read of L{l}: got {got:?}, want Some({want})"),
+                fitness,
+                crashed,
+                faults,
+            );
+        }
+    }
+    for &l in &trimmed {
+        let got = engine.read(Lpn(l));
+        if got.is_some() {
+            return Outcome::fail(
+                format!("final read of trimmed L{l}: got {got:?}, want None"),
                 fitness,
                 crashed,
                 faults,

@@ -1,7 +1,7 @@
 //! Shared simulation drivers for the experiments.
 
 use flash_sim::{Geometry, StatsSnapshot};
-use ftl_workloads::{Uniform, WorkloadOp};
+use ftl_workloads::{Trace, Uniform, WorkloadOp};
 use geckoftl_core::ftl::FtlEngine;
 
 /// The default simulation geometry for write-amplification experiments:
@@ -34,6 +34,36 @@ pub fn drive(engine: &mut FtlEngine, gen: impl Iterator<Item = WorkloadOp>, n: u
             }
             WorkloadOp::Read(lpn) => {
                 let _ = engine.read(lpn);
+            }
+            WorkloadOp::Trim(lpn) => {
+                engine.trim(lpn);
+            }
+            WorkloadOp::Idle(ticks) => {
+                for _ in 0..ticks {
+                    engine.idle_tick();
+                }
+            }
+        }
+    }
+}
+
+/// Replay a recorded [`Trace`] against an engine, routing each op through
+/// the per-tenant entry points (`write_for`/`read_for`/`trim_for`) so
+/// tenant accounting and QoS apply. `version` threads a monotonically
+/// increasing write payload across multiple replay calls; start it at any
+/// value and pass the same variable back in for a continuation.
+pub fn replay_trace(engine: &mut FtlEngine, trace: &Trace, version: &mut u64) {
+    for (op, tenant) in trace.iter_with_tenants() {
+        match op {
+            WorkloadOp::Write(lpn) => {
+                *version += 1;
+                engine.write_for(tenant, lpn, *version);
+            }
+            WorkloadOp::Read(lpn) => {
+                let _ = engine.read_for(tenant, lpn);
+            }
+            WorkloadOp::Trim(lpn) => {
+                engine.trim_for(tenant, lpn);
             }
             WorkloadOp::Idle(ticks) => {
                 for _ in 0..ticks {

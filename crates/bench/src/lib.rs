@@ -15,6 +15,7 @@
 
 pub mod experiments;
 pub mod fuzz;
+pub mod golden;
 pub mod harness;
 pub mod report;
 
@@ -82,6 +83,6 @@ pub mod shards {
 }
 
 pub use harness::{
-    drive, fill_sequential, measure_uniform, sim_geometry, Driver, MeasuredInterval,
+    drive, fill_sequential, measure_uniform, replay_trace, sim_geometry, Driver, MeasuredInterval,
 };
 pub use report::{format_table, write_csv, Table};

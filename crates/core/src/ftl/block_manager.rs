@@ -191,9 +191,15 @@ impl BlockManager {
 
     /// Drop all protections (called when Gecko's buffer flushes) and return
     /// the blocks that were protected so the engine can erase any that have
-    /// become fully invalid in the meantime.
+    /// become fully invalid in the meantime. Sorted: the caller erases these
+    /// in order, and erase order feeds the free pool and hence future victim
+    /// selection — draining the `HashSet` unsorted leaked per-process hash
+    /// randomization into GC victim order (±2 reads/query jitter in
+    /// BENCH_gecko_query).
     pub fn clear_protection(&mut self) -> Vec<BlockId> {
-        self.protected.drain().collect()
+        let mut blocks: Vec<BlockId> = self.protected.drain().collect();
+        blocks.sort_unstable();
+        blocks
     }
 
     /// Integrated-RAM footprint of BVC: 2 bytes per block (Appendix B).

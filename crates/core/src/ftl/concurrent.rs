@@ -29,7 +29,7 @@
 //! takes only the engine lock. See `docs/CONCURRENCY.md` for the full
 //! ordering and the per-channel time-domain rules.
 
-use super::FtlEngine;
+use super::{FtlEngine, TenantId};
 use flash_sim::Lpn;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -90,6 +90,38 @@ impl ConcurrentFtl {
             .write()
             .expect("publish shard poisoned")
             .insert(lpn, version);
+    }
+
+    /// [`ConcurrentFtl::write`] with the op charged to `tenant`.
+    pub fn write_for(&self, tenant: TenantId, lpn: Lpn, version: u64) {
+        let mut engine = self.lock_engine();
+        engine.write_for(tenant, lpn, version);
+        drop(engine);
+        let shard = self.shared.shard_of(lpn);
+        self.shared.published[shard]
+            .write()
+            .expect("publish shard poisoned")
+            .insert(lpn, version);
+    }
+
+    /// Host TRIM: serialize on the engine, then retract the LPN from its
+    /// publish shard so concurrent `&self` readers stop observing the
+    /// discarded version. Returns `true` if a mapping existed.
+    pub fn trim(&self, lpn: Lpn) -> bool {
+        self.trim_for(0, lpn)
+    }
+
+    /// [`ConcurrentFtl::trim`] with the op charged to `tenant`.
+    pub fn trim_for(&self, tenant: TenantId, lpn: Lpn) -> bool {
+        let mut engine = self.lock_engine();
+        let had = engine.trim_for(tenant, lpn);
+        drop(engine); // engine lock → shard lock, and release eagerly
+        let shard = self.shared.shard_of(lpn);
+        self.shared.published[shard]
+            .write()
+            .expect("publish shard poisoned")
+            .remove(&lpn);
+        had
     }
 
     /// `&self` read path: the latest *published* version of `lpn`, from

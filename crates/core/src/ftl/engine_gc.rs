@@ -88,6 +88,10 @@ impl FtlEngine {
     /// victims' keys and coalesces probes landing on the same flash page —
     /// one pass over the store instead of a per-victim round trip.
     pub(crate) fn maybe_gc(&mut self) {
+        if self.bm.free_blocks() >= self.cfg.gc_free_threshold {
+            return;
+        }
+        let t0 = self.dev.clock().now_us();
         while self.bm.free_blocks() < self.cfg.gc_free_threshold {
             self.plan_gc_burst();
             if self.collect_once() {
@@ -116,6 +120,10 @@ impl FtlEngine {
         }
         self.gc_prefetch.clear();
         self.gc_plan.clear();
+        // Charge the whole burst to the op that triggered it, for the
+        // per-tenant GC-debt accounting (observation only).
+        let spent = self.dev.clock().now_us() - t0;
+        self.note_gc_time(spent);
     }
 
     /// Plan the next GC burst ahead of need (victim ranking + bitmap

@@ -44,6 +44,28 @@ impl FtlEngine {
         m.set_counter("engine.gc_operations", c.gc_operations);
         m.set_counter("engine.gc_migrations", c.gc_migrations);
         m.set_counter("engine.gc_uip_skips", c.gc_uip_skips);
+        m.set_counter("engine.trims", c.trims);
+
+        // Per-tenant series (only tenants seen through the `*_for` entry
+        // points appear; single-tenant runs emit nothing extra).
+        for (id, s) in self.tenant_stats() {
+            let p = format!("tenant.{id}");
+            m.set_counter(&format!("{p}.writes"), s.writes);
+            m.set_counter(&format!("{p}.reads"), s.reads);
+            m.set_counter(&format!("{p}.trims"), s.trims);
+            m.set_counter(&format!("{p}.bytes_written"), s.bytes_written);
+            m.set_counter(&format!("{p}.gc_operations"), s.gc_operations);
+            m.set_counter(&format!("{p}.gc_migrations"), s.gc_migrations);
+            m.set_gauge(&format!("{p}.gc_debt_us"), s.gc_debt_us);
+            if s.writes > 0 {
+                m.set_gauge(&format!("{p}.write_p99_us"), s.write_lat.quantile(0.99));
+                m.set_gauge(&format!("{p}.write_max_us"), s.write_lat.max());
+            }
+            if s.reads > 0 {
+                m.set_gauge(&format!("{p}.read_p99_us"), s.read_lat.quantile(0.99));
+                m.set_gauge(&format!("{p}.read_max_us"), s.read_lat.max());
+            }
+        }
 
         if let Some(s) = self.backend.gecko_stats() {
             gecko_stats_into(&mut m, "gecko", &s);

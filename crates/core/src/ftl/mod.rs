@@ -31,9 +31,10 @@ use crate::gecko::{GeckoConfig, LogGecko, ShardedGecko};
 use crate::translation::TranslationTable;
 use crate::validity::{MetaSink, ValidityStore};
 use flash_sim::{
-    BlockId, FlashDevice, Geometry, IoPurpose, Lpn, PageData, Ppn, SpanKind, SpareInfo, Telemetry,
+    BlockId, FlashDevice, Geometry, Histogram, IoPurpose, Lpn, PageData, Ppn, SpanKind, SpareInfo,
+    Telemetry,
 };
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Garbage-collection victim-selection policy (§4.2).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -81,6 +82,13 @@ pub struct FtlConfig {
     /// meaningful under [`RecoveryPolicy::CheckpointDeferred`]. `None`
     /// disables checkpoints (ablation), removing the recovery-scan bound.
     pub checkpoint_period: Option<u64>,
+    /// Multi-tenant QoS budget: when non-zero, a tenant whose writes have
+    /// accumulated an above-average share of GC debt prepays collection
+    /// until the free pool holds `gc_free_threshold + qos_headroom_blocks`
+    /// blocks, so its bursts stop eating the headroom other tenants' p99
+    /// depends on. `0` disables the mechanism (byte-identical to the
+    /// pre-QoS engine).
+    pub qos_headroom_blocks: usize,
 }
 
 impl FtlConfig {
@@ -98,6 +106,7 @@ impl FtlConfig {
             gc_policy: GcPolicy::MetadataAware,
             recovery: RecoveryPolicy::CheckpointDeferred,
             checkpoint_period: None, // filled from cache_entries at build
+            qos_headroom_blocks: 0,
         }
     }
 }
@@ -295,6 +304,44 @@ pub struct FtlEngine {
     pub gc_victim_log: Vec<BlockId>,
     /// Lifetime op counters.
     pub counters: EngineCounters,
+    /// Per-tenant accounting, populated by the `*_for` entry points.
+    /// RAM-only observation — it never influences the simulation, so
+    /// single-tenant callers using `write`/`read` stay byte-identical.
+    /// `BTreeMap` so metric emission order is deterministic.
+    tenants: BTreeMap<TenantId, TenantStats>,
+    /// Lifetime simulated time spent inside GC (victim selection, queries,
+    /// migrations, erases). The `*_for` entry points diff this around each
+    /// op to charge GC debt to the tenant whose op triggered it.
+    gc_attrib_us: f64,
+}
+
+/// A tenant / stream identifier for multi-tenant accounting. Tenant 0 is
+/// the default stream the untagged `write`/`read` entry points charge.
+pub type TenantId = u8;
+
+/// Per-tenant accounting: op counts, bytes, latency histograms, and the GC
+/// debt (simulated µs of garbage collection) this tenant's writes triggered.
+#[derive(Clone, Debug, Default)]
+pub struct TenantStats {
+    /// Writes issued by this tenant.
+    pub writes: u64,
+    /// Reads issued by this tenant.
+    pub reads: u64,
+    /// Trims issued by this tenant.
+    pub trims: u64,
+    /// Logical bytes written by this tenant.
+    pub bytes_written: u64,
+    /// GC victim collections triggered by this tenant's ops.
+    pub gc_operations: u64,
+    /// GC page migrations triggered by this tenant's ops.
+    pub gc_migrations: u64,
+    /// Simulated µs of GC work charged to this tenant (the debt the QoS
+    /// budget balances).
+    pub gc_debt_us: f64,
+    /// End-to-end write latencies (µs).
+    pub write_lat: Histogram,
+    /// End-to-end read latencies (µs).
+    pub read_lat: Histogram,
 }
 
 /// Engine-level (non-IO) counters for reports and ablations.
@@ -317,6 +364,8 @@ pub struct EngineCounters {
     /// Pages skipped by GC because the UIP spare-check identified them
     /// (§4.1's garbage-collection policy).
     pub gc_uip_skips: u64,
+    /// TRIM/discard operations served.
+    pub trims: u64,
 }
 
 impl FtlEngine {
@@ -367,6 +416,8 @@ impl FtlEngine {
             gc_plan: std::collections::VecDeque::new(),
             gc_victim_log: Vec::new(),
             counters: EngineCounters::default(),
+            tenants: BTreeMap::new(),
+            gc_attrib_us: 0.0,
         }
     }
 
@@ -398,6 +449,8 @@ impl FtlEngine {
             gc_plan: std::collections::VecDeque::new(),
             gc_victim_log: Vec::new(),
             counters: EngineCounters::default(),
+            tenants: BTreeMap::new(),
+            gc_attrib_us: 0.0,
         }
     }
 
@@ -640,6 +693,155 @@ impl FtlEngine {
         Some(version)
     }
 
+    /// Host TRIM/discard: declare logical page `lpn`'s contents dead. The
+    /// mapping is durably removed (subsequent reads return `None`, even
+    /// across a crash) and the physical copy is reported invalid, so GC can
+    /// reclaim it without migration — the workload GeckoFTL's erase markers
+    /// handle without any cleaning writes. Returns `true` if a mapping
+    /// existed.
+    pub fn trim(&mut self, lpn: Lpn) -> bool {
+        let t0 = self.dev.clock().now_us();
+        let had = self.trim_inner(lpn);
+        let now = self.dev.clock().now_us();
+        self.dev
+            .telemetry_mut()
+            .record_span(SpanKind::HostTrim, lpn.0, t0, now);
+        had
+    }
+
+    fn trim_inner(&mut self, lpn: Lpn) -> bool {
+        assert!(
+            self.geometry().contains_lpn(lpn),
+            "trim outside logical space: {lpn:?}"
+        );
+        self.maybe_gc();
+        self.counters.trims += 1;
+        let tpage = self.tt.tpage_of(lpn);
+        // Push this translation page's dirty cached state down first: the
+        // unmap below must supersede a version that already reflects the
+        // cache, so the before-image it returns is the true newest copy and
+        // recovery's version-chain diff (App. C.2.2) sees one coherent
+        // mapped → unmapped transition.
+        self.sync_tpage(tpage);
+        self.cache.remove(lpn);
+        // Keep the pre-unmap version findable for recovery's diffs, exactly
+        // as sync_tpage protects the pre-sync version.
+        if self.backend.is_gecko() {
+            if let Some(old) = self.tt.tpage_location(tpage) {
+                self.bm.protect(self.geometry().block_of(old));
+            }
+            if self.bm.protected_count() > 8 {
+                self.backend.store().flush(&mut self.dev, &mut self.bm);
+                self.after_validity_op();
+            }
+        }
+        let before = self.tt.unmap(&mut self.dev, &mut self.bm, lpn);
+        if let Some(ppn) = before {
+            self.invalidate_user_page(ppn);
+        }
+        self.pump_merge_slice();
+        self.post_op();
+        before.is_some()
+    }
+
+    /// [`FtlEngine::write`] with the op charged to `tenant`.
+    pub fn write_for(&mut self, tenant: TenantId, lpn: Lpn, version: u64) {
+        let t0 = self.dev.clock().now_us();
+        let gc0 = self.gc_attrib_us;
+        let ops0 = self.counters.gc_operations;
+        let mig0 = self.counters.gc_migrations;
+        if self.qos_should_prepay(tenant) {
+            self.gc_prepay();
+        }
+        self.write(lpn, version);
+        let dt = self.dev.clock().now_us() - t0;
+        let gc = self.gc_attrib_us - gc0;
+        let (ops, mig) = (
+            self.counters.gc_operations - ops0,
+            self.counters.gc_migrations - mig0,
+        );
+        let page_bytes = self.geometry().page_bytes as u64;
+        let s = self.tenants.entry(tenant).or_default();
+        s.writes += 1;
+        s.bytes_written += page_bytes;
+        s.gc_operations += ops;
+        s.gc_migrations += mig;
+        s.gc_debt_us += gc;
+        s.write_lat.record(dt);
+    }
+
+    /// [`FtlEngine::read`] with the op charged to `tenant`.
+    pub fn read_for(&mut self, tenant: TenantId, lpn: Lpn) -> Option<u64> {
+        let t0 = self.dev.clock().now_us();
+        let version = self.read(lpn);
+        let dt = self.dev.clock().now_us() - t0;
+        let s = self.tenants.entry(tenant).or_default();
+        s.reads += 1;
+        s.read_lat.record(dt);
+        version
+    }
+
+    /// [`FtlEngine::trim`] with the op charged to `tenant`.
+    pub fn trim_for(&mut self, tenant: TenantId, lpn: Lpn) -> bool {
+        let gc0 = self.gc_attrib_us;
+        let ops0 = self.counters.gc_operations;
+        let mig0 = self.counters.gc_migrations;
+        let had = self.trim(lpn);
+        let s = self.tenants.entry(tenant).or_default();
+        s.trims += 1;
+        s.gc_operations += self.counters.gc_operations - ops0;
+        s.gc_migrations += self.counters.gc_migrations - mig0;
+        s.gc_debt_us += self.gc_attrib_us - gc0;
+        had
+    }
+
+    /// Per-tenant accounting collected by the `*_for` entry points.
+    pub fn tenant_stats(&self) -> &BTreeMap<TenantId, TenantStats> {
+        &self.tenants
+    }
+
+    /// Accumulate simulated GC time for tenant-debt attribution (called by
+    /// the GC paths in `engine_gc`).
+    pub(crate) fn note_gc_time(&mut self, us: f64) {
+        self.gc_attrib_us += us;
+    }
+
+    /// Whether `tenant` should prepay garbage collection before its next
+    /// write: the QoS budget is on, the free pool is below the headroom
+    /// target, and this tenant carries a strictly above-average share of
+    /// the GC debt.
+    fn qos_should_prepay(&self, tenant: TenantId) -> bool {
+        let headroom = self.cfg.qos_headroom_blocks;
+        if headroom == 0 {
+            return false;
+        }
+        if self.bm.free_blocks() >= self.cfg.gc_free_threshold + headroom {
+            return false;
+        }
+        let mine = self.tenants.get(&tenant).map_or(0.0, |s| s.gc_debt_us);
+        let total: f64 = self.tenants.values().map(|s| s.gc_debt_us).sum();
+        let n = self.tenants.len().max(1) as f64;
+        mine * n > total
+    }
+
+    /// Collect up to two victims toward the QoS headroom target, charged to
+    /// the caller (a debt-heavy tenant's write path). Bounded so one prepay
+    /// never becomes a forced-drain stall of its own.
+    fn gc_prepay(&mut self) {
+        let t0 = self.dev.clock().now_us();
+        let target = self.cfg.gc_free_threshold + self.cfg.qos_headroom_blocks;
+        let mut budget = 2;
+        while self.bm.free_blocks() < target && budget > 0 {
+            if !self.collect_once() {
+                break;
+            }
+            budget -= 1;
+            self.maybe_checkpoint();
+            self.pump_merge_slice();
+        }
+        self.gc_attrib_us += self.dev.clock().now_us() - t0;
+    }
+
     /// The engine's current belief about where `lpn` lives: the cached
     /// mapping if present, else the flash-resident translation table.
     /// Unlike [`FtlEngine::read`], does not touch the cache (useful for
@@ -705,12 +907,10 @@ impl FtlEngine {
             return;
         }
         self.counters.syncs += 1;
-        let mut verify = false;
         let updates: Vec<(Lpn, Ppn)> = lpns
             .iter()
             .map(|&lpn| {
                 let e = self.cache.lookup(lpn).expect("dirty entry cached");
-                verify |= e.uncertain;
                 (lpn, e.ppn)
             })
             .collect();
@@ -735,7 +935,7 @@ impl FtlEngine {
         }
         let outcome = self
             .tt
-            .synchronize(&mut self.dev, &mut self.bm, tpage, &updates, verify);
+            .synchronize(&mut self.dev, &mut self.bm, tpage, &updates);
         if outcome.aborted {
             self.counters.syncs_aborted += 1;
         }
@@ -788,7 +988,9 @@ impl FtlEngine {
             self.after_validity_op();
         }
         for lpn in &outcome.already_synced {
-            // App. C.3.1: recovered entry was never dirty — clear the
+            // The entry already matches flash: either a recovered entry that
+            // was never dirty (App. C.3.1) or an ABA physical-address-reuse
+            // cycle (see `TranslationTable::synchronize`) — clear the
             // assumed flags without writing anything.
             self.cache.update_entry(*lpn, |e| {
                 e.dirty = false;

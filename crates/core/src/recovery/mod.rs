@@ -468,17 +468,30 @@ pub fn gecko_recover(
                 }
             }
             if scanned <= scan_limit && seen.insert(lpn) {
-                // Step 7 folded in: flags assumed dirty/UIP, marked
-                // uncertain for the App. C.3 corrections.
-                recreated.push(CacheEntry {
-                    lpn,
-                    ppn,
-                    dirty: true,
-                    uip: true,
-                    uncertain: true,
-                    written_epoch: 0,
-                });
-                report.recovered_entries += 1;
+                // TRIM guard: if the recovered validity store already knows
+                // this page is invalid, its mapping was durably retracted —
+                // a trim's unmap superseded it (the invalidation either
+                // flushed or was re-derived by step 4's version-chain diff
+                // from the mapped → unmapped transition). Recreating an
+                // uncertain entry here would resurrect discarded data once
+                // the C.3 verify-sync wrote it back into the table. Outside
+                // trims the newest copy of an LPN is never invalid, so this
+                // changes nothing for trim-free workloads. The LPN still
+                // counts as seen: its older copies are superseded either way.
+                let known_invalid = invalid_maps.get(&b).is_some_and(|m| m.get(off));
+                if !known_invalid {
+                    // Step 7 folded in: flags assumed dirty/UIP, marked
+                    // uncertain for the App. C.3 corrections.
+                    recreated.push(CacheEntry {
+                        lpn,
+                        ppn,
+                        dirty: true,
+                        uip: true,
+                        uncertain: true,
+                        written_epoch: 0,
+                    });
+                    report.recovered_entries += 1;
+                }
             }
         }
     }

@@ -141,17 +141,18 @@ impl TranslationTable {
     /// Synchronization operation: apply `updates` (cached dirty mappings) to
     /// the translation page `tpage`.
     ///
-    /// `verify` marks updates coming from *uncertain* recovered entries
-    /// (Appendix C.3): for those, an update equal to the flash-resident
-    /// entry is reported in [`SyncOutcome::already_synced`] instead of being
-    /// written, and if **all** updates are false alarms the write is aborted.
+    /// An update equal to the flash-resident entry is reported in
+    /// [`SyncOutcome::already_synced`] instead of being written — this
+    /// covers both *uncertain* recovered entries whose assumed dirtiness
+    /// was a false alarm (Appendix C.3) and live entries closing an ABA
+    /// physical-address-reuse cycle. If **no** update changes anything the
+    /// write is aborted.
     pub fn synchronize(
         &mut self,
         dev: &mut FlashDevice,
         bm: &mut BlockManager,
         tpage: u32,
         updates: &[(Lpn, Ppn)],
-        verify: bool,
     ) -> SyncOutcome {
         let per = self.geo.entries_per_translation_page();
         let old_loc = self.gmd[tpage as usize].expect("synchronize against a formatted table");
@@ -170,7 +171,15 @@ impl TranslationTable {
             let off = (lpn.0 % per) as usize;
             let old = entries[off];
             if old == new_ppn.0 {
-                debug_assert!(verify, "a genuinely dirty entry must differ from flash");
+                // Equal-to-flash dirty entries are not only recovery false
+                // alarms (`verify`): physical-address reuse can produce them
+                // legitimately. If flash maps L→P and L is then rewritten
+                // P→Q→…, the block holding P can be erased, reallocated and
+                // hit by a later rewrite of L at exactly offset P — an ABA
+                // cycle leaving the dirty cache entry equal to the flash
+                // entry. Nothing needs writing or reporting: every
+                // intermediate copy was invalidated at write time, and the
+                // caller clears the entry's flags via `already_synced`.
                 outcome.already_synced.push(lpn);
                 continue;
             }
@@ -196,6 +205,43 @@ impl TranslationTable {
         self.gmd[tpage as usize] = Some(new_loc);
         bm.page_obsolete(dev, old_loc);
         outcome
+    }
+
+    /// Unmap `lpn` (host TRIM): write a new translation-page version with
+    /// the entry reset to the unmapped sentinel and return the before-image,
+    /// so the caller can report the discarded physical page invalid. Returns
+    /// `None` without writing when the entry is already unmapped — trimming
+    /// a never-written page only costs the verification read.
+    pub fn unmap(&mut self, dev: &mut FlashDevice, bm: &mut BlockManager, lpn: Lpn) -> Option<Ppn> {
+        let tpage = self.tpage_of(lpn);
+        let per = self.geo.entries_per_translation_page();
+        let old_loc = self.gmd[tpage as usize].expect("unmap against a formatted table");
+        let data = dev
+            .read_page(old_loc, IoPurpose::TranslationSync)
+            .expect("GMD points at a written page");
+        let payload = data
+            .blob::<TranslationPagePayload>()
+            .expect("translation page payload");
+        let mut entries = payload.entries.clone();
+
+        let off = (lpn.0 % per) as usize;
+        let old = entries[off];
+        if old == UNMAPPED {
+            return None;
+        }
+        entries[off] = UNMAPPED;
+
+        let new_payload = TranslationPagePayload { tpage, entries };
+        let new_loc = bm.append(
+            dev,
+            BlockGroup::Translation,
+            PageData::blob_of(new_payload),
+            SpareInfo::Translation { tpage },
+            IoPurpose::TranslationSync,
+        );
+        self.gmd[tpage as usize] = Some(new_loc);
+        bm.page_obsolete(dev, old_loc);
+        Some(Ppn(old))
     }
 
     /// Migrate a live translation page during greedy garbage-collection
@@ -251,7 +297,7 @@ mod tests {
     #[test]
     fn synchronize_updates_mapping_and_returns_before_images() {
         let (mut dev, mut bm, mut tt) = setup();
-        let out = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(3), Ppn(77))], false);
+        let out = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(3), Ppn(77))]);
         assert_eq!(out.before_images, vec![(Lpn(3), None)]);
         assert!(!out.aborted);
         assert_eq!(
@@ -259,7 +305,7 @@ mod tests {
             Some(Ppn(77))
         );
 
-        let out2 = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(3), Ppn(99))], false);
+        let out2 = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(3), Ppn(99))]);
         assert_eq!(out2.before_images, vec![(Lpn(3), Some(Ppn(77)))]);
         assert_eq!(
             tt.lookup(&mut dev, Lpn(3), IoPurpose::TranslationFetch),
@@ -273,7 +319,7 @@ mod tests {
         let old_loc = tt.tpage_location(0).unwrap();
         let old_block = dev.geometry().block_of(old_loc);
         let bvc_before = bm.valid_pages(old_block);
-        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(0), Ppn(5))], false);
+        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(0), Ppn(5))]);
         let new_loc = tt.tpage_location(0).unwrap();
         assert_ne!(new_loc, old_loc);
         // The new version lands in the same active translation block: one
@@ -283,12 +329,12 @@ mod tests {
     }
 
     #[test]
-    fn verify_mode_detects_false_alarms_and_aborts() {
+    fn equal_to_flash_update_is_reported_already_synced_and_aborts() {
         let (mut dev, mut bm, mut tt) = setup();
-        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50))], false);
+        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50))]);
         let stats_before = dev.stats().counts(IoPurpose::TranslationSync);
         // A recovered entry whose mapping is actually clean.
-        let out = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50))], true);
+        let out = tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50))]);
         assert!(out.aborted);
         assert_eq!(out.already_synced, vec![Lpn(1)]);
         assert!(out.before_images.is_empty());
@@ -307,13 +353,12 @@ mod tests {
     #[test]
     fn mixed_false_alarm_and_genuine_update() {
         let (mut dev, mut bm, mut tt) = setup();
-        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50))], false);
+        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(1), Ppn(50))]);
         let out = tt.synchronize(
             &mut dev,
             &mut bm,
             0,
             &[(Lpn(1), Ppn(50)), (Lpn(2), Ppn(60))],
-            true,
         );
         assert!(!out.aborted);
         assert_eq!(out.already_synced, vec![Lpn(1)]);
@@ -325,9 +370,29 @@ mod tests {
     }
 
     #[test]
+    fn unmap_clears_entry_and_returns_before_image() {
+        let (mut dev, mut bm, mut tt) = setup();
+        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(2), Ppn(41))]);
+        assert_eq!(tt.unmap(&mut dev, &mut bm, Lpn(2)), Some(Ppn(41)));
+        assert_eq!(
+            tt.lookup(&mut dev, Lpn(2), IoPurpose::TranslationFetch),
+            None
+        );
+        // Unmapping an already-unmapped entry is read-only.
+        let writes_before = dev.stats().counts(IoPurpose::TranslationSync).page_writes;
+        assert_eq!(tt.unmap(&mut dev, &mut bm, Lpn(2)), None);
+        assert_eq!(tt.unmap(&mut dev, &mut bm, Lpn(3)), None);
+        assert_eq!(
+            dev.stats().counts(IoPurpose::TranslationSync).page_writes,
+            writes_before,
+            "no-op unmaps must not write"
+        );
+    }
+
+    #[test]
     fn migration_preserves_contents() {
         let (mut dev, mut bm, mut tt) = setup();
-        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(4), Ppn(123))], false);
+        tt.synchronize(&mut dev, &mut bm, 0, &[(Lpn(4), Ppn(123))]);
         let old = tt.tpage_location(0).unwrap();
         tt.migrate_tpage(&mut dev, &mut bm, 0);
         assert_ne!(tt.tpage_location(0), Some(old));

@@ -31,6 +31,7 @@ fn engine(shards: u32) -> FtlEngine {
         gc_policy: GcPolicy::MetadataAware,
         recovery: RecoveryPolicy::CheckpointDeferred,
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     };
     let gecko_cfg = GeckoConfig {
         page_header_bytes: geo.page_bytes - 64,

@@ -28,6 +28,7 @@ fn small_engine(seed_cache: usize) -> FtlEngine {
         gc_policy: GcPolicy::MetadataAware,
         recovery: RecoveryPolicy::CheckpointDeferred,
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     };
     let gecko = LogGecko::new(
         geo,
@@ -219,6 +220,7 @@ fn greedy_policy_also_preserves_data() {
         gc_policy: GcPolicy::GreedyAll,
         recovery: RecoveryPolicy::CheckpointDeferred,
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     };
     let gecko = LogGecko::new(
         geo,
@@ -263,6 +265,7 @@ fn restricted_dirty_policy_bounds_dirty_entries() {
         gc_policy: GcPolicy::GreedyAll,
         recovery: RecoveryPolicy::RestrictedDirty { fraction: 0.1 },
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     };
     let gecko = LogGecko::new(
         geo,
@@ -393,6 +396,7 @@ fn fast_path_and_naive_gc_collect_identical_victim_sequences() {
             gc_policy: GcPolicy::MetadataAware,
             recovery: RecoveryPolicy::CheckpointDeferred,
             checkpoint_period: None,
+            qos_headroom_blocks: 0,
         };
         let gecko = LogGecko::new(
             geo,
@@ -424,4 +428,215 @@ fn fast_path_and_naive_gc_collect_identical_victim_sequences() {
     assert_eq!(fast.counters.gc_migrations, naive.counters.gc_migrations);
     verify_all(&mut fast, &fast_oracle);
     verify_all(&mut naive, &naive_oracle);
+}
+
+// ---------------------------------------------------------------------------
+// TRIM
+// ---------------------------------------------------------------------------
+
+#[test]
+fn trim_unmaps_and_allows_rewrite() {
+    let mut engine = small_engine(64);
+    engine.write(Lpn(7), 70);
+    engine.write(Lpn(8), 80);
+    assert!(engine.trim(Lpn(7)), "trim of a live mapping reports true");
+    assert_eq!(engine.read(Lpn(7)), None, "trimmed page reads as unmapped");
+    assert_eq!(engine.read(Lpn(8)), Some(80), "neighbours are untouched");
+    assert!(
+        !engine.trim(Lpn(7)),
+        "re-trim of an unmapped page is a no-op"
+    );
+    assert!(
+        !engine.trim(Lpn(9)),
+        "trim of a never-written page is a no-op"
+    );
+    engine.write(Lpn(7), 700);
+    assert_eq!(engine.read(Lpn(7)), Some(700), "write-after-trim works");
+    assert_eq!(engine.counters.trims, 3, "every trim attempt is counted");
+}
+
+#[test]
+fn trim_heavy_workload_stays_consistent_under_gc() {
+    let mut engine = small_engine(48);
+    let mut oracle: HashMap<u32, u64> = HashMap::new();
+    let mut rng = Lcg(0xF00D);
+    let logical = engine.geometry().logical_pages() as u32;
+    for i in 0..6_000u64 {
+        let lpn = (rng.next() % logical as u64) as u32;
+        match rng.next() % 5 {
+            0 => {
+                let had = engine.trim(Lpn(lpn));
+                assert_eq!(had, oracle.remove(&lpn).is_some(), "trim L{lpn}");
+            }
+            _ => {
+                engine.write(Lpn(lpn), i + 1);
+                oracle.insert(lpn, i + 1);
+            }
+        }
+        if rng.next().is_multiple_of(7) {
+            let probe = (rng.next() % logical as u64) as u32;
+            assert_eq!(engine.read(Lpn(probe)), oracle.get(&probe).copied());
+        }
+    }
+    verify_all(&mut engine, &oracle);
+}
+
+#[test]
+fn trim_survives_crash_and_recovery() {
+    // Write a batch, trim part of it, keep writing (so the trims are mixed
+    // into normal traffic), crash, recover: trimmed-and-not-rewritten pages
+    // must NOT be resurrected by the backwards scan (§C.3 + the recovery
+    // step-6 invalid_maps guard), while everything else survives.
+    let mut engine = small_engine(48);
+    let mut oracle: HashMap<u32, u64> = HashMap::new();
+    let mut rng = Lcg(0xBEEF);
+    run_workload(&mut engine, &mut oracle, &mut rng, 3_000);
+
+    let logical = engine.geometry().logical_pages() as u32;
+    let mut trimmed = Vec::new();
+    for k in 0..40u32 {
+        let lpn = (rng.next() % logical as u64) as u32;
+        if engine.trim(Lpn(lpn)) {
+            oracle.remove(&lpn);
+            trimmed.push(lpn);
+        }
+        // Interleave writes so trims sit inside live traffic, not at the
+        // tail where nothing would scan past them.
+        let w = (rng.next() % logical as u64) as u32;
+        if !trimmed.contains(&w) {
+            engine.write(Lpn(w), 7_000_000 + k as u64);
+            oracle.insert(w, 7_000_000 + k as u64);
+        }
+    }
+    assert!(!trimmed.is_empty(), "workload must actually trim something");
+
+    let cfg = engine.config();
+    let gecko_cfg = engine.backend().gecko().expect("gecko").config();
+    let dev = engine.crash();
+    let (mut recovered, _report) = gecko_recover(dev, cfg, gecko_cfg);
+    for &lpn in &trimmed {
+        assert_eq!(
+            recovered.read(Lpn(lpn)),
+            None,
+            "L{lpn} was trimmed before the crash and must stay unmapped"
+        );
+    }
+    verify_all(&mut recovered, &oracle);
+}
+
+#[test]
+fn trim_survives_clean_restart() {
+    let mut engine = small_engine(64);
+    let mut oracle: HashMap<u32, u64> = HashMap::new();
+    let mut rng = Lcg(0xCAFE);
+    run_workload(&mut engine, &mut oracle, &mut rng, 2_000);
+    let victims: Vec<u32> = oracle.keys().copied().take(10).collect();
+    for &lpn in &victims {
+        assert!(engine.trim(Lpn(lpn)));
+        oracle.remove(&lpn);
+    }
+    let cfg = engine.config();
+    let gecko_cfg = engine.backend().gecko().expect("gecko").config();
+    engine.shutdown_clean();
+    let dev = engine.crash();
+    let (mut restarted, _) = gecko_recover(dev, cfg, gecko_cfg);
+    for &lpn in &victims {
+        assert_eq!(restarted.read(Lpn(lpn)), None, "L{lpn} stays trimmed");
+    }
+    verify_all(&mut restarted, &oracle);
+}
+
+#[test]
+fn tenant_accounting_tracks_ops_and_gc_debt() {
+    let mut engine = small_engine(64);
+    let logical = engine.geometry().logical_pages() as u32;
+    // Tenant 1: light. Tenant 2: overwrite storm (drives all the GC).
+    for i in 0..200u64 {
+        engine.write_for(1, Lpn((i % 50) as u32), i + 1);
+    }
+    for i in 0..8_000u64 {
+        engine.write_for(2, Lpn((i % (logical as u64 / 4)) as u32 + 100), i + 1);
+    }
+    engine.read_for(1, Lpn(3));
+    engine.trim_for(1, Lpn(3));
+    let t = engine.tenant_stats();
+    let t1 = &t[&1];
+    let t2 = &t[&2];
+    assert_eq!(t1.writes, 200);
+    assert_eq!(t1.reads, 1);
+    assert_eq!(t1.trims, 1);
+    assert_eq!(t2.writes, 8_000);
+    assert_eq!(
+        t1.writes + t2.writes,
+        engine.counters.writes,
+        "tenant writes partition the engine total"
+    );
+    assert!(t2.gc_operations > 0, "the storm must trigger GC");
+    assert!(
+        t2.gc_debt_us > t1.gc_debt_us,
+        "GC debt lands on the tenant whose writes triggered it"
+    );
+    assert!(t2.write_lat.count() == 8_000 && t1.write_lat.count() == 200);
+    let m = engine.metrics();
+    assert_eq!(m.counter("tenant.2.writes"), 8_000);
+    assert!(m.gauge("tenant.2.gc_debt_us") > 0.0);
+    assert_eq!(m.counter("engine.trims"), 1);
+}
+
+#[test]
+fn qos_headroom_is_byte_identical_when_disabled_and_prepays_when_on() {
+    // qos_headroom_blocks = 0 must not change behaviour at all (same device
+    // IO counts for the same op sequence); with headroom on, a heavy tenant
+    // is made to prepay GC so its debt share rises.
+    let run = |headroom: usize| {
+        let geo = Geometry::tiny();
+        let cfg = FtlConfig {
+            cache_entries: 64,
+            gc_free_threshold: 8,
+            gc_policy: GcPolicy::MetadataAware,
+            recovery: RecoveryPolicy::CheckpointDeferred,
+            checkpoint_period: None,
+            qos_headroom_blocks: headroom,
+        };
+        let gecko = LogGecko::new(
+            geo,
+            GeckoConfig {
+                page_header_bytes: geo.page_bytes - 64,
+                ..GeckoConfig::paper_default(&geo)
+            },
+        );
+        let mut e = FtlEngine::format(geo, cfg, ValidityBackend::Gecko(gecko));
+        let logical = geo.logical_pages() as u32;
+        for i in 0..9_000u64 {
+            let heavy = i % 4 != 0;
+            let tenant = if heavy { 2 } else { 1 };
+            let lpn = if heavy {
+                (i % (logical as u64 / 8)) as u32
+            } else {
+                (logical / 2) + (i % 64) as u32
+            };
+            e.write_for(tenant, Lpn(lpn), i + 1);
+        }
+        e
+    };
+    let a = run(0);
+    let b = run(0);
+    for p in IoPurpose::ALL {
+        assert_eq!(
+            a.device().stats().counts(p),
+            b.device().stats().counts(p),
+            "headroom=0 runs are deterministic ({})",
+            p.label()
+        );
+    }
+    let q = run(4);
+    let qa = q.tenant_stats();
+    let base = a.tenant_stats();
+    assert!(
+        qa[&2].gc_debt_us >= base[&2].gc_debt_us * 0.5,
+        "heavy tenant still carries its debt under QoS"
+    );
+    // The light tenant's worst-case write latency must not get worse under
+    // QoS: prepaid GC runs on the heavy tenant's clock.
+    assert!(qa[&1].write_lat.max() <= base[&1].write_lat.max() * 1.5 + 1.0);
 }

@@ -217,6 +217,7 @@ fn incremental_engine(merge_step_pages: u32) -> FtlEngine {
         gc_policy: GcPolicy::MetadataAware,
         recovery: RecoveryPolicy::CheckpointDeferred,
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     };
     let gecko = LogGecko::new(
         geo,
@@ -487,6 +488,7 @@ fn engine_equivalence_across_step_budgets() {
             gc_policy: GcPolicy::MetadataAware,
             recovery: RecoveryPolicy::CheckpointDeferred,
             checkpoint_period: None,
+            qos_headroom_blocks: 0,
         };
         let gecko = LogGecko::new(
             geo,

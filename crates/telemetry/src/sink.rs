@@ -34,6 +34,9 @@ pub enum SpanKind {
     HostWrite,
     /// One host `read(lpn)` end to end.
     HostRead,
+    /// One host `trim(lpn)` end to end, including the forced translation
+    /// sync and unmap writes.
+    HostTrim,
     /// Garbage collection of one victim block (arg = victim block id).
     GcCollect,
     /// One incremental Gecko merge slice across the channels.
@@ -48,12 +51,13 @@ pub enum SpanKind {
 
 impl SpanKind {
     /// Number of span kinds (lane count).
-    pub const COUNT: usize = 7;
+    pub const COUNT: usize = 8;
 
     /// All kinds in lane order.
     pub const ALL: [SpanKind; SpanKind::COUNT] = [
         SpanKind::HostWrite,
         SpanKind::HostRead,
+        SpanKind::HostTrim,
         SpanKind::GcCollect,
         SpanKind::MergeSlice,
         SpanKind::BufferFlush,
@@ -66,11 +70,12 @@ impl SpanKind {
         match self {
             SpanKind::HostWrite => 0,
             SpanKind::HostRead => 1,
-            SpanKind::GcCollect => 2,
-            SpanKind::MergeSlice => 3,
-            SpanKind::BufferFlush => 4,
-            SpanKind::WearScan => 5,
-            SpanKind::Recovery => 6,
+            SpanKind::HostTrim => 2,
+            SpanKind::GcCollect => 3,
+            SpanKind::MergeSlice => 4,
+            SpanKind::BufferFlush => 5,
+            SpanKind::WearScan => 6,
+            SpanKind::Recovery => 7,
         }
     }
 
@@ -79,6 +84,7 @@ impl SpanKind {
         match self {
             SpanKind::HostWrite => "host_write",
             SpanKind::HostRead => "host_read",
+            SpanKind::HostTrim => "host_trim",
             SpanKind::GcCollect => "gc_collect",
             SpanKind::MergeSlice => "merge_slice",
             SpanKind::BufferFlush => "buffer_flush",

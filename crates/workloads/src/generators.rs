@@ -12,6 +12,10 @@ pub enum WorkloadOp {
     Write(Lpn),
     /// Read a logical page.
     Read(Lpn),
+    /// TRIM/discard a logical page: the host declares its contents dead.
+    /// The FTL unmaps it and invalidates the physical copy, so GC can
+    /// reclaim the space without migrating it.
+    Trim(Lpn),
     /// A gap of `n` idle ticks: quiet time the host gives the device, which
     /// the FTL may spend on background maintenance (incremental merge
     /// slices). Generators never emit it; traces carry it so recorded
@@ -236,6 +240,7 @@ mod tests {
             .map(|op| match op {
                 WorkloadOp::Write(l) => l.0,
                 WorkloadOp::Read(l) => l.0,
+                WorkloadOp::Trim(l) => l.0,
                 WorkloadOp::Idle(_) => unreachable!("generators do not emit idle gaps"),
             })
             .collect()

@@ -8,7 +8,9 @@
 //! record/replay for broader experiments and ablations.
 
 pub mod generators;
+pub mod shapes;
 pub mod trace;
 
 pub use generators::{HotCold, Mixed, Sequential, Uniform, WorkloadOp, Zipfian};
-pub use trace::Trace;
+pub use shapes::{BurstyDiurnal, OverwriteStorm, Scan, TenantMix, TrimWave};
+pub use trace::{TenantId, Trace};

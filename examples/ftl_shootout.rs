@@ -38,7 +38,7 @@ fn main() {
                 WorkloadOp::Read(lpn) => {
                     let _ = ftl.read(lpn);
                 }
-                WorkloadOp::Idle(_) => {}
+                WorkloadOp::Idle(_) | WorkloadOp::Trim(_) => {}
             }
         }
         let d = ftl.device().stats().since(&snap);

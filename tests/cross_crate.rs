@@ -25,6 +25,8 @@ fn replay_with_oracle(kind: BaselineKind, trace: &Trace) {
                 oracle.insert(lpn.0, version);
             }
             WorkloadOp::Idle(_) => {}
+            // The generators driven here never emit TRIMs; exhaustiveness only.
+            WorkloadOp::Trim(_) => {}
             WorkloadOp::Read(lpn) => {
                 assert_eq!(
                     ftl.read(lpn),
@@ -135,7 +137,7 @@ fn mixed_read_write_workload_accounts_read_amplification() {
             WorkloadOp::Read(lpn) => {
                 let _ = ftl.read(lpn);
             }
-            WorkloadOp::Idle(_) => {}
+            WorkloadOp::Idle(_) | WorkloadOp::Trim(_) => {}
         }
     }
     let d = ftl.device().stats().since(&snap);

@@ -142,7 +142,7 @@ proptest! {
             }
             let before: Vec<Option<u32>> =
                 updates.iter().map(|(l, _)| model.get(&l.0).copied()).collect();
-            let outcome = tt.synchronize(&mut dev, &mut bm, 0, &updates, false);
+            let outcome = tt.synchronize(&mut dev, &mut bm, 0, &updates);
             // Before-images reported by the table equal the model's priors.
             prop_assert_eq!(outcome.before_images.len(), updates.len());
             for (((lpn, new), (got_lpn, got_before)), want_before) in

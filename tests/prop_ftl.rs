@@ -20,6 +20,7 @@ fn tiny_gecko_engine(cache: usize) -> FtlEngine {
         gc_policy: GcPolicy::MetadataAware,
         recovery: RecoveryPolicy::CheckpointDeferred,
         checkpoint_period: None,
+        qos_headroom_blocks: 0,
     };
     let gecko = LogGecko::new(
         geo,
